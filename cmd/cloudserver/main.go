@@ -1,0 +1,65 @@
+// Command cloudserver runs DataBlinder's untrusted-zone node: the
+// encrypted document store, the tactic index store, and the cloud halves
+// of every tactic protocol, served over the framed JSON RPC transport.
+//
+// Usage:
+//
+//	cloudserver -listen 127.0.0.1:7700 [-data ./cloud-data]
+//
+// With -data, the key-value index store persists to an append-only file
+// and the document store snapshots to JSON files on shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"datablinder/internal/cloud"
+	"datablinder/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "address to serve the gateway RPC protocol on")
+	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
+	flag.Parse()
+
+	if err := run(*listen, *dataDir); err != nil {
+		log.Fatalf("cloudserver: %v", err)
+	}
+}
+
+func run(listen, dataDir string) error {
+	opts := cloud.Options{}
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o700); err != nil {
+			return fmt.Errorf("creating data dir: %w", err)
+		}
+		opts.KVPath = filepath.Join(dataDir, "index.aof")
+		opts.DocDir = filepath.Join(dataDir, "docs")
+	}
+	node, err := cloud.NewNode(opts)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	srv := transport.NewServer(node.Mux)
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("cloudserver: serving %d RPC methods on %s (persistence: %v)",
+		len(node.Mux.Services()), addr, dataDir != "")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("cloudserver: shutting down")
+	return nil
+}

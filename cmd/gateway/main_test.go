@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datablinder"
+)
+
+// testClient opens an in-process gateway for dispatch tests.
+func testClient(t *testing.T) *datablinder.Client {
+	t.Helper()
+	client, err := datablinder.Open(context.Background(), datablinder.Options{InProcessCloud: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDispatchFullFlow(t *testing.T) {
+	client := testClient(t)
+	ctx := context.Background()
+
+	schema := &datablinder.Schema{
+		Name: "obs",
+		Fields: []datablinder.Field{
+			datablinder.MustField("subject", datablinder.TypeString, "C2, op [I, EQ]"),
+			datablinder.MustField("taken", datablinder.TypeInt, "C5, op [I, RG], tactic [OPE]"),
+			datablinder.MustField("v", datablinder.TypeFloat, "C4, op [I, EQ], agg [avg], tactic [DET, Paillier]"),
+		},
+	}
+	schemaPath := writeJSON(t, "schema.json", schema)
+	docPath := writeJSON(t, "doc.json", &datablinder.Document{
+		ID:     "d1",
+		Fields: map[string]any{"subject": "alice", "taken": 100, "v": 6.0},
+	})
+
+	steps := [][]string{
+		{"register", schemaPath},
+		{"insert", "obs", docPath},
+		{"get", "obs", "d1"},
+		{"search", "obs", "subject=alice"},
+		{"range", "obs", "taken", "50", "150"},
+		{"agg", "obs", "v", "avg", "subject=alice"},
+		{"agg", "obs", "v", "count"},
+		{"plan", "obs", "v"},
+		{"count", "obs"},
+		{"delete", "obs", "d1"},
+	}
+	for _, args := range steps {
+		if err := dispatch(ctx, client, args); err != nil {
+			t.Fatalf("dispatch(%v): %v", args, err)
+		}
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	client := testClient(t)
+	ctx := context.Background()
+	bad := [][]string{
+		{"unknown-command"},
+		{"register"},                   // missing file
+		{"register", "/no/such/file"},  // unreadable
+		{"insert", "obs"},              // missing doc
+		{"get", "obs"},                 // missing id
+		{"search", "obs", "malformed"}, // no '='
+		{"range", "obs", "f"},          // missing bounds
+		{"agg", "obs", "f"},            // missing fn
+		{"plan", "obs"},                // missing field
+		{"count"},                      // missing schema
+		{"delete", "obs"},              // missing id
+		{"get", "nosuchschema", "id"},  // unknown schema
+	}
+	for _, args := range bad {
+		if err := dispatch(ctx, client, args); err == nil {
+			t.Errorf("dispatch(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDispatchInsertFromStdin(t *testing.T) {
+	client := testClient(t)
+	ctx := context.Background()
+	schema := &datablinder.Schema{
+		Name:   "s",
+		Fields: []datablinder.Field{datablinder.MustField("f", datablinder.TypeString, "C2, op [I, EQ]")},
+	}
+	if err := dispatch(ctx, client, []string{"register", writeJSON(t, "s.json", schema)}); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the document through stdin ("-").
+	raw, _ := json.Marshal(&datablinder.Document{ID: "x", Fields: map[string]any{"f": "v"}})
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.Write(raw)
+		w.Close()
+	}()
+	if err := dispatch(ctx, client, []string{"insert", "s", "-"}); err != nil {
+		t.Fatalf("insert from stdin: %v", err)
+	}
+	docs, err := client.Entities("s").Search(ctx, datablinder.Eq{Field: "f", Value: "v"})
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("search after stdin insert = %v, %v", docs, err)
+	}
+}
+
+func TestParseScalar(t *testing.T) {
+	tests := []struct {
+		in   string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-7", int64(-7)},
+		{"6.3", 6.3},
+		{"glucose", "glucose"},
+		{"", ""},
+		{"12abc", "12abc"},
+	}
+	for _, tt := range tests {
+		if got := parseScalar(tt.in); got != tt.want {
+			t.Errorf("parseScalar(%q) = %v (%T), want %v (%T)", tt.in, got, got, tt.want, tt.want)
+		}
+	}
+}
+
+func TestParseEq(t *testing.T) {
+	eq, err := parseEq("code=glucose")
+	if err != nil || eq.Field != "code" || eq.Value != "glucose" {
+		t.Fatalf("parseEq = %+v, %v", eq, err)
+	}
+	eq, err = parseEq("effective=1359966610")
+	if err != nil || eq.Value != int64(1359966610) {
+		t.Fatalf("parseEq(numeric) = %+v, %v", eq, err)
+	}
+	// Values containing '=' keep everything after the first separator.
+	eq, err = parseEq("note=a=b")
+	if err != nil || eq.Field != "note" || eq.Value != "a=b" {
+		t.Fatalf("parseEq(embedded =) = %+v, %v", eq, err)
+	}
+	if _, err := parseEq("no-separator"); err == nil {
+		t.Fatal("parseEq accepted input without =")
+	}
+}

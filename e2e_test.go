@@ -1,0 +1,160 @@
+package datablinder_test
+
+// Process-level end-to-end test: builds the real cloudserver and gateway
+// binaries, runs them as separate processes (the paper's Fig. 3
+// deployment), and drives a full register/insert/search/aggregate flow
+// through the CLI, including a gateway restart against persistent state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	out := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", out, pkg)
+	cmd.Dir = "."
+	if raw, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, raw)
+	}
+	return out
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestE2EBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process-level e2e in -short mode")
+	}
+	dir := t.TempDir()
+	cloudBin := buildBinary(t, dir, "./cmd/cloudserver", "cloudserver")
+	gatewayBin := buildBinary(t, dir, "./cmd/gateway", "gateway")
+
+	addr := freePort(t)
+	cloud := exec.Command(cloudBin, "-listen", addr, "-data", filepath.Join(dir, "cloud-data"))
+	cloud.Stdout = os.Stderr
+	cloud.Stderr = os.Stderr
+	if err := cloud.Start(); err != nil {
+		t.Fatalf("starting cloudserver: %v", err)
+	}
+	t.Cleanup(func() {
+		cloud.Process.Kill()
+		cloud.Wait()
+	})
+	// Wait for the listener.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cloudserver never came up: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Write the schema and a document to disk for the CLI.
+	schemaJSON := `{
+	  "name": "observation",
+	  "fields": [
+	    {"name": "status", "type": "string", "sensitive": true,
+	     "annotation": {"class": 4, "ops": ["I", "EQ"], "tactics": ["DET"]}},
+	    {"name": "subject", "type": "string", "sensitive": true,
+	     "annotation": {"class": 2, "ops": ["I", "EQ"]}},
+	    {"name": "value", "type": "float", "sensitive": true,
+	     "annotation": {"class": 4, "ops": ["I", "EQ"], "aggs": ["avg"], "tactics": ["DET", "Paillier"]}}
+	  ]
+	}`
+	schemaPath := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(schemaPath, []byte(schemaJSON), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	docPath := filepath.Join(dir, "doc.json")
+	doc := map[string]any{
+		"id": "e2e-1",
+		"fields": map[string]any{
+			"status": "final", "subject": "alice", "value": 6.3,
+		},
+	}
+	raw, _ := json.Marshal(doc)
+	if err := os.WriteFile(docPath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	gw := func(args ...string) string {
+		t.Helper()
+		base := []string{
+			"-cloud", addr,
+			"-key", filepath.Join(dir, "master.key"),
+			"-state", filepath.Join(dir, "gateway.aof"),
+		}
+		cmd := exec.Command(gatewayBin, append(base, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("gateway %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	if out := gw("register", schemaPath); !strings.Contains(out, "registered schema") {
+		t.Fatalf("register output: %s", out)
+	}
+	if out := gw("insert", "observation", docPath); !strings.Contains(out, "inserted e2e-1") {
+		t.Fatalf("insert output: %s", out)
+	}
+	// Each gw invocation is a fresh gateway process: state restores from
+	// the key file + AOF every time, which is itself the restart test.
+	if out := gw("get", "observation", "e2e-1"); !strings.Contains(out, "alice") {
+		t.Fatalf("get output: %s", out)
+	}
+	if out := gw("search", "observation", "subject=alice"); !strings.Contains(out, "1 matching") {
+		t.Fatalf("search output: %s", out)
+	}
+	if out := gw("search", "observation", "status=final"); !strings.Contains(out, "1 matching") {
+		t.Fatalf("DET search output: %s", out)
+	}
+	if out := gw("agg", "observation", "value", "avg", "status=final"); !strings.Contains(out, "6.3") {
+		t.Fatalf("agg output: %s", out)
+	}
+	if out := gw("count", "observation"); !strings.Contains(out, "1") {
+		t.Fatalf("count output: %s", out)
+	}
+	// Insert a second doc and re-aggregate.
+	doc["id"] = "e2e-2"
+	doc["fields"].(map[string]any)["value"] = 4.3
+	raw, _ = json.Marshal(doc)
+	os.WriteFile(docPath, raw, 0o600)
+	gw("insert", "observation", docPath)
+	if out := gw("agg", "observation", "value", "avg", "subject=alice"); !strings.Contains(out, "5.3") {
+		t.Fatalf("avg after second insert: %s", out)
+	}
+	if out := gw("delete", "observation", "e2e-1"); !strings.Contains(out, "deleted") {
+		t.Fatalf("delete output: %s", out)
+	}
+	if out := gw("search", "observation", "subject=alice"); !strings.Contains(out, "1 matching") {
+		t.Fatalf("search after delete: %s", out)
+	}
+	if out := gw("plan", "observation", "value"); !strings.Contains(out, "Paillier") {
+		t.Fatalf("plan output: %s", out)
+	}
+	fmt.Fprintln(os.Stderr, "e2e: full CLI flow against separate cloudserver process OK")
+}

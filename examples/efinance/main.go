@@ -1,0 +1,138 @@
+// E-finance: an invoice-processing scenario modeled on the paper's other
+// industrial context (UnifiedPost-style e-finance). Invoices carry
+// customer identifiers, amounts, and due dates; the business outsources
+// them to the cloud but must still run dunning queries (overdue invoices
+// per customer), totals, and reconciliation lookups — all on ciphertext.
+//
+// It also demonstrates crypto agility: the same schema annotated once with
+// the ORE range tactic and once with OPE, without touching application
+// code — only the annotation changes.
+//
+// Run with:
+//
+//	go run ./examples/efinance
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"datablinder"
+)
+
+func invoiceSchema(rangeTactic string) *datablinder.Schema {
+	return &datablinder.Schema{
+		Name: "invoice-" + rangeTactic,
+		Fields: []datablinder.Field{
+			datablinder.PlainField("number", datablinder.TypeString),
+			datablinder.MustField("customer", datablinder.TypeString, "C2, op [I, EQ]"),
+			datablinder.MustField("state", datablinder.TypeString, "C4, op [I, EQ], tactic [DET]"),
+			datablinder.MustField("due", datablinder.TypeInt,
+				"C5, op [I, EQ, RG], tactic [DET, "+rangeTactic+"]"),
+			datablinder.MustField("amount_cents", datablinder.TypeInt,
+				"C5, op [I, RG], agg [sum, avg], tactic ["+rangeTactic+", Paillier]"),
+		},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	client, err := datablinder.Open(ctx, datablinder.Options{InProcessCloud: true})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Crypto agility: the application logic below is identical for both
+	// range tactics; only the schema annotation differs.
+	for _, rangeTactic := range []string{"OPE", "ORE"} {
+		fmt.Printf("==== range tactic: %s ====\n", rangeTactic)
+		if err := demo(ctx, client, rangeTactic); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func demo(ctx context.Context, client *datablinder.Client, rangeTactic string) error {
+	schema := invoiceSchema(rangeTactic)
+	if err := client.RegisterSchema(ctx, schema); err != nil {
+		return err
+	}
+	invoices := client.Entities(schema.Name)
+
+	// due dates are days since epoch for readability.
+	seed := []struct {
+		number   string
+		customer string
+		state    string
+		due      int64
+		cents    int64
+	}{
+		{"INV-001", "acme", "open", 19900, 125_00},
+		{"INV-002", "acme", "open", 19930, 89_50},
+		{"INV-003", "acme", "paid", 19870, 42_00},
+		{"INV-004", "globex", "open", 19880, 1_250_00},
+		{"INV-005", "globex", "disputed", 19910, 310_75},
+		{"INV-006", "initech", "open", 19860, 77_10},
+	}
+	for _, in := range seed {
+		_, err := invoices.Insert(ctx, &datablinder.Document{
+			ID: in.number,
+			Fields: map[string]any{
+				"number": in.number, "customer": in.customer,
+				"state": in.state, "due": in.due, "amount_cents": in.cents,
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Dunning: open invoices due on or before day 19900.
+	today := int64(19900)
+	overdue, err := invoices.SearchIDs(ctx, datablinder.And{Preds: []datablinder.Predicate{
+		datablinder.Eq{Field: "state", Value: "open"},
+		datablinder.Lte("due", today),
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overdue open invoices (due <= %d): %v\n", today, overdue)
+
+	// Reconciliation lookup: all invoices for one customer (Mitra SSE).
+	docs, err := invoices.Search(ctx, datablinder.Eq{Field: "customer", Value: "acme"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("acme has %d invoices:\n", len(docs))
+	for _, d := range docs {
+		fmt.Printf("  %-8s %-9s due=%v amount=%.2f EUR\n",
+			d.ID, d.Fields["state"], d.Fields["due"],
+			float64(d.Fields["amount_cents"].(int64))/100)
+	}
+
+	// Exposure: total outstanding amount, homomorphically (Paillier).
+	total, err := invoices.Aggregate(ctx, "amount_cents", datablinder.AggSum,
+		datablinder.Eq{Field: "state", Value: "open"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total open exposure = %.2f EUR (cloud-side homomorphic sum)\n", total/100)
+
+	// Large invoices via range query on the encrypted amount column.
+	big, err := invoices.SearchIDs(ctx, datablinder.Gte("amount_cents", int64(300_00)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("invoices >= 300 EUR: %v\n", big)
+	return nil
+}

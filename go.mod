@@ -1,0 +1,3 @@
+module datablinder
+
+go 1.22

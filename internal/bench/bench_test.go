@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"datablinder/internal/cloud"
+	"datablinder/internal/fhir"
+	"datablinder/internal/keys"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+func newEnv(t testing.TB) func() (transport.Conn, keys.Provider, *kvstore.Store, func(), error) {
+	t.Helper()
+	return func() (transport.Conn, keys.Provider, *kvstore.Store, func(), error) {
+		node, err := cloud.NewNode(cloud.Options{})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		kp, err := keys.NewRandomStore()
+		if err != nil {
+			node.Close()
+			return nil, nil, nil, nil, err
+		}
+		local := kvstore.New()
+		return transport.NewLoopback(node.Mux), kp, local, func() {
+			node.Close()
+			local.Close()
+		}, nil
+	}
+}
+
+func smokeConfig() Config {
+	return Config{Users: 8, Requests: 120, Seed: 7}
+}
+
+func runScenario(t *testing.T, scenario string) Result {
+	t.Helper()
+	conn, kp, local, cleanup, err := newEnv(t)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	cfg := smokeConfig()
+	cfg.Scenario = scenario
+	cfg.Conn = conn
+	cfg.Keys = kp
+	cfg.Local = local
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", scenario, err)
+	}
+	return res
+}
+
+func TestScenarioSmoke(t *testing.T) {
+	for _, s := range []string{"A", "B", "C"} {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			res := runScenario(t, s)
+			if res.Requests != 120 {
+				t.Fatalf("requests = %d, want 120", res.Requests)
+			}
+			for _, kind := range []OpKind{OpInsert, OpSearch, OpAggregate} {
+				if res.PerOp[kind].Count == 0 {
+					t.Errorf("no %s operations recorded", kind)
+				}
+				if res.PerOp[kind].Avg <= 0 {
+					t.Errorf("%s avg latency is zero", kind)
+				}
+			}
+			if res.Overall() <= 0 {
+				t.Error("overall throughput is zero")
+			}
+			stats := res.PerOp["overall"]
+			if stats.P50 > stats.P75 || stats.P75 > stats.P99 {
+				t.Errorf("percentiles not monotone: %+v", stats)
+			}
+		})
+	}
+}
+
+func TestIndexOpsCountedOnlyForTactics(t *testing.T) {
+	b := runScenario(t, "B")
+	c := runScenario(t, "C")
+	if b.IndexOps == 0 || c.IndexOps == 0 {
+		t.Fatalf("index ops: B=%d C=%d, want nonzero", b.IndexOps, c.IndexOps)
+	}
+	// S_B and S_C run the same tactic pipeline; their secure-index op
+	// counts should be close (C adds no extra index RPCs, only local
+	// dispatch).
+	ratio := float64(c.IndexOps) / float64(b.IndexOps)
+	if math.Abs(ratio-1) > 0.1 {
+		t.Fatalf("index op ratio C/B = %.2f (B=%d C=%d)", ratio, b.IndexOps, c.IndexOps)
+	}
+}
+
+func TestScenarioResultsAgree(t *testing.T) {
+	// The three scenarios answer the same queries; spot-check that a
+	// search for a fixed patient returns identical document id sets.
+	ctx := context.Background()
+	for _, s := range []string{"A", "B", "C"} {
+		conn, kp, local, cleanup, err := newEnv(t)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cleanup)
+		a, err := NewApp(ctx, s, conn, kp, local)
+		if err != nil {
+			t.Fatalf("newApp(%s): %v", s, err)
+		}
+		gen := fhir.NewGenerator(99, 0, 0)
+		want := map[string]float64{}
+		for i := 0; i < 30; i++ {
+			doc := gen.Observation()
+			if err := a.Insert(ctx, doc); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			if doc.Fields["code"] == "glucose" {
+				want[doc.ID] = doc.Fields["value"].(float64)
+			}
+		}
+		docs, err := a.SearchEq(ctx, "code", "glucose")
+		if err != nil {
+			t.Fatalf("search(%s): %v", s, err)
+		}
+		if len(docs) != len(want) {
+			t.Fatalf("scenario %s: search returned %d docs, want %d", s, len(docs), len(want))
+		}
+		var sum float64
+		for id, v := range want {
+			sum += v
+			found := false
+			for _, d := range docs {
+				if d.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("scenario %s: missing doc %s", s, id)
+			}
+		}
+		avg, err := a.AverageWhere(ctx, "code", "glucose")
+		if err != nil {
+			t.Fatalf("avg(%s): %v", s, err)
+		}
+		wantAvg := sum / float64(len(want))
+		if math.Abs(avg-wantAvg) > 1e-4 {
+			t.Fatalf("scenario %s: avg = %g, want %g", s, avg, wantAvg)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	mk := func(name string, n int, lat time.Duration) Result {
+		rec := NewRecorder()
+		for i := 0; i < n; i++ {
+			rec.Record(OpInsert, lat)
+			rec.Record(OpSearch, lat)
+			rec.Record(OpAggregate, lat)
+		}
+		return rec.snapshot(name, time.Second, 42, 3)
+	}
+	a := mk("S_A", 100, time.Millisecond)
+	b := mk("S_B", 56, 2*time.Millisecond)
+	c := mk("S_C", 55, 2*time.Millisecond)
+	fig := FormatFigure5(a, b, c)
+	if !strings.Contains(fig, "overall") || !strings.Contains(fig, "S_B") {
+		t.Fatalf("FormatFigure5 output:\n%s", fig)
+	}
+	if !strings.Contains(fig, "44.0%") {
+		t.Fatalf("expected 44.0%% loss in:\n%s", fig)
+	}
+	lat := FormatLatencyTable(a, b, c)
+	if !strings.Contains(lat, "p99") || !strings.Contains(lat, "S_C") {
+		t.Fatalf("FormatLatencyTable output:\n%s", lat)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := computeStats(samples)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Avg != 50500*time.Microsecond {
+		t.Fatalf("avg = %v", s.Avg)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if zero := computeStats(nil); zero.Count != 0 || zero.Avg != 0 {
+		t.Fatalf("empty stats = %+v", zero)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("Run accepted zero config")
+	}
+	conn, kp, local, cleanup, err := newEnv(t)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	if _, err := Run(context.Background(), Config{
+		Scenario: "Z", Users: 1, Requests: 3, Conn: conn, Keys: kp, Local: local,
+	}); err == nil {
+		t.Fatal("Run accepted unknown scenario")
+	}
+}

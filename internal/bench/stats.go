@@ -1,0 +1,182 @@
+// Statistics collection for the evaluation harness: per-operation latency
+// recording and throughput computation (the Locust role in the paper's
+// setup).
+
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// OpKind labels the three workload operation families of Figure 5.
+type OpKind string
+
+// Operation kinds.
+const (
+	OpInsert    OpKind = "insert"
+	OpSearch    OpKind = "search"
+	OpAggregate OpKind = "aggregate"
+)
+
+// Recorder accumulates latencies per operation kind. It is safe for
+// concurrent use.
+type Recorder struct {
+	mu   sync.Mutex
+	data map[OpKind][]time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{data: make(map[OpKind][]time.Duration)}
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(kind OpKind, d time.Duration) {
+	r.mu.Lock()
+	r.data[kind] = append(r.data[kind], d)
+	r.mu.Unlock()
+}
+
+// LatencyStats summarizes a latency distribution the way the paper's
+// latency table does: average plus 50th/75th/99th percentiles.
+type LatencyStats struct {
+	Count int
+	Total time.Duration // sum of all samples (drives per-op throughput)
+	Avg   time.Duration
+	P50   time.Duration
+	P75   time.Duration
+	P99   time.Duration
+}
+
+func computeStats(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencyStats{
+		Count: len(sorted),
+		Total: total,
+		Avg:   total / time.Duration(len(sorted)),
+		P50:   pct(0.50),
+		P75:   pct(0.75),
+		P99:   pct(0.99),
+	}
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario string
+	Elapsed  time.Duration
+	PerOp    map[OpKind]LatencyStats
+	// IndexOps counts secure-index RPCs issued (the paper reports ~350k
+	// per experiment at full scale).
+	IndexOps int64
+	// Requests is the total number of workload requests.
+	Requests int
+	// Users is the virtual-user concurrency of the run.
+	Users int
+}
+
+// snapshot freezes the recorder into a Result.
+func (r *Recorder) snapshot(scenario string, elapsed time.Duration, indexOps int64, users int) Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := Result{
+		Scenario: scenario,
+		Elapsed:  elapsed,
+		PerOp:    make(map[OpKind]LatencyStats, len(r.data)),
+		IndexOps: indexOps,
+		Users:    users,
+	}
+	var all []time.Duration
+	for kind, samples := range r.data {
+		res.PerOp[kind] = computeStats(samples)
+		res.Requests += len(samples)
+		all = append(all, samples...)
+	}
+	res.PerOp["overall"] = computeStats(all)
+	return res
+}
+
+// Throughput estimates the sustainable requests/second for one operation
+// kind: the number of completed operations divided by the wall-clock time
+// the virtual-user pool spent inside that operation (time-in-op / users).
+// This is how a mixed workload exposes per-operation capacity — dividing
+// by total elapsed time would just mirror the workload mix.
+func (res Result) Throughput(kind OpKind) float64 {
+	s := res.PerOp[kind]
+	if s.Total <= 0 {
+		return 0
+	}
+	users := res.Users
+	if users <= 0 {
+		users = 1
+	}
+	return float64(s.Count) / (s.Total.Seconds() / float64(users))
+}
+
+// Overall returns total requests/second.
+func (res Result) Overall() float64 {
+	if res.Elapsed <= 0 {
+		return 0
+	}
+	return float64(res.Requests) / res.Elapsed.Seconds()
+}
+
+// FormatFigure5 renders the Figure 5 comparison: per-operation and overall
+// throughput for the three scenarios, plus the paper's two headline
+// deltas (overall loss of tactics vs plain, and of middleware vs
+// hard-coded tactics).
+func FormatFigure5(a, b, c Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — per-operation and overall throughput (req/s)\n")
+	fmt.Fprintf(&sb, "%-22s %12s %12s %12s\n", "operation", "S_A plain", "S_B tactics", "S_C middleware")
+	for _, kind := range []OpKind{OpInsert, OpSearch, OpAggregate} {
+		fmt.Fprintf(&sb, "%-22s %12.1f %12.1f %12.1f\n",
+			string(kind), a.Throughput(kind), b.Throughput(kind), c.Throughput(kind))
+	}
+	fmt.Fprintf(&sb, "%-22s %12.1f %12.1f %12.1f\n", "overall", a.Overall(), b.Overall(), c.Overall())
+	fmt.Fprintf(&sb, "\nheadline deltas (paper: ~44%% and ~1.4%%):\n")
+	fmt.Fprintf(&sb, "  tactics vs plain (S_B/S_A):        %5.1f%% overall throughput loss\n", lossPct(a.Overall(), b.Overall()))
+	fmt.Fprintf(&sb, "  middleware vs hard-coded (S_C/S_B): %5.1f%% additional overall throughput loss\n", lossPct(b.Overall(), c.Overall()))
+	fmt.Fprintf(&sb, "\nsecure index operations: S_B=%d S_C=%d\n", b.IndexOps, c.IndexOps)
+	return sb.String()
+}
+
+func lossPct(base, got float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (1 - got/base) * 100
+}
+
+// FormatLatencyTable renders the §5.2 latency table: overall average and
+// 50th/75th/99th percentile latency per scenario.
+func FormatLatencyTable(results ...Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "§5.2 latency table — overall request latency\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", "scenario", "avg", "p50", "p75", "p99")
+	for _, r := range results {
+		s := r.PerOp["overall"]
+		fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s\n", r.Scenario,
+			round(s.Avg), round(s.P50), round(s.P75), round(s.P99))
+	}
+	return sb.String()
+}
+
+func round(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

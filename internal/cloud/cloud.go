@@ -1,0 +1,196 @@
+// Package cloud assembles DataBlinder's untrusted-zone deployment (paper
+// Fig. 3/4): the document store holding whole-document ciphertexts, the
+// key-value store backing every tactic's secure indexes, and the RPC
+// services — the cloud halves of all tactics plus the document service.
+//
+// Nothing in this process ever sees a decryption key: it stores opaque
+// blobs and executes token-driven index protocols.
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"datablinder/internal/store/docstore"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics"
+	"datablinder/internal/transport"
+)
+
+// DocService is the RPC service name of the encrypted document store.
+const DocService = "doc"
+
+// Document service payloads.
+type (
+	// DocPutArgs stores a document blob.
+	DocPutArgs struct {
+		Collection string `json:"collection"`
+		ID         string `json:"id"`
+		Blob       []byte `json:"blob"`
+		// IfAbsent makes the call fail when the id already exists
+		// (insert semantics); otherwise it overwrites (update semantics).
+		IfAbsent bool `json:"if_absent,omitempty"`
+	}
+	// DocGetArgs fetches one blob.
+	DocGetArgs struct {
+		Collection string `json:"collection"`
+		ID         string `json:"id"`
+	}
+	// DocGetReply is one blob.
+	DocGetReply struct {
+		Blob []byte `json:"blob"`
+	}
+	// DocGetManyArgs fetches several blobs.
+	DocGetManyArgs struct {
+		Collection string   `json:"collection"`
+		IDs        []string `json:"ids"`
+	}
+	// DocGetManyReply preserves request order, skipping missing ids.
+	DocGetManyReply struct {
+		Records []docstore.Record `json:"records"`
+	}
+	// DocDeleteArgs removes one document.
+	DocDeleteArgs struct {
+		Collection string `json:"collection"`
+		ID         string `json:"id"`
+	}
+	// DocScanArgs pages through a collection in id order.
+	DocScanArgs struct {
+		Collection string `json:"collection"`
+		After      string `json:"after"`
+		Limit      int    `json:"limit"`
+	}
+	// DocScanReply is one page.
+	DocScanReply struct {
+		Records []docstore.Record `json:"records"`
+	}
+	// DocCountArgs counts a collection.
+	DocCountArgs struct {
+		Collection string `json:"collection"`
+	}
+	// DocCountReply is the collection size.
+	DocCountReply struct {
+		Count int `json:"count"`
+	}
+)
+
+// Options configures a cloud node.
+type Options struct {
+	// KVPath enables AOF persistence for the index store.
+	KVPath string
+	// DocDir enables snapshot persistence for the document store.
+	DocDir string
+}
+
+// Node is one cloud deployment: stores plus a ready-to-serve mux.
+type Node struct {
+	KV   *kvstore.Store
+	Docs *docstore.Store
+	Mux  *transport.Mux
+}
+
+// NewNode builds a cloud node with all tactic cloud halves registered.
+func NewNode(opts Options) (*Node, error) {
+	var (
+		kv  *kvstore.Store
+		err error
+	)
+	if opts.KVPath != "" {
+		kv, err = kvstore.Open(opts.KVPath)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: opening kv store: %w", err)
+		}
+	} else {
+		kv = kvstore.New()
+	}
+	var docs *docstore.Store
+	if opts.DocDir != "" {
+		docs, err = docstore.Open(opts.DocDir)
+		if err != nil {
+			kv.Close()
+			return nil, fmt.Errorf("cloud: opening doc store: %w", err)
+		}
+	} else {
+		docs = docstore.New()
+	}
+
+	mux := transport.NewMux()
+	tactics.RegisterCloud(mux, kv)
+	registerDocService(mux, docs)
+	return &Node{KV: kv, Docs: docs, Mux: mux}, nil
+}
+
+// Close flushes and closes both stores.
+func (n *Node) Close() error {
+	kvErr := n.KV.Close()
+	docErr := n.Docs.Close()
+	if kvErr != nil {
+		return kvErr
+	}
+	return docErr
+}
+
+func registerDocService(mux *transport.Mux, docs *docstore.Store) {
+	mux.Handle(DocService, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocPutArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		if in.IfAbsent {
+			return nil, docs.Insert(in.Collection, in.ID, in.Blob)
+		}
+		return nil, docs.Put(in.Collection, in.ID, in.Blob)
+	})
+	mux.Handle(DocService, "get", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocGetArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		blob, err := docs.Get(in.Collection, in.ID)
+		if err != nil {
+			return nil, err
+		}
+		return DocGetReply{Blob: blob}, nil
+	})
+	mux.Handle(DocService, "getmany", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocGetManyArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		recs, err := docs.GetMany(in.Collection, in.IDs)
+		if err != nil {
+			return nil, err
+		}
+		return DocGetManyReply{Records: recs}, nil
+	})
+	mux.Handle(DocService, "delete", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocDeleteArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, docs.Delete(in.Collection, in.ID)
+	})
+	mux.Handle(DocService, "scan", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocScanArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		recs, err := docs.Scan(in.Collection, in.After, in.Limit)
+		if err != nil {
+			return nil, err
+		}
+		return DocScanReply{Records: recs}, nil
+	})
+	mux.Handle(DocService, "count", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocCountArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		n, err := docs.Count(in.Collection)
+		if err != nil {
+			return nil, err
+		}
+		return DocCountReply{Count: n}, nil
+	})
+}

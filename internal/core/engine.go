@@ -1,0 +1,595 @@
+// Package core implements DataBlinder's middleware-core subsystem (paper
+// Fig. 4): abstract execution of the persistence logic (CRUD + search +
+// aggregates), the data protection metadata subsystem (schema persistence
+// and validation), and adaptive tactic selection at runtime.
+//
+// The engine runs in the trusted zone. It holds the only decryption keys;
+// the cloud side only ever receives whole-document AEAD ciphertexts and
+// tactic-specific tokens.
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"datablinder/internal/cloud"
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Errors returned by the engine.
+var (
+	ErrSchemaUnknown    = errors.New("core: schema not registered")
+	ErrSchemaExists     = errors.New("core: schema already registered")
+	ErrUnsupportedQuery = errors.New("core: no tactic plan supports this query")
+	ErrDocumentExists   = errors.New("core: document already exists")
+	ErrDocumentMissing  = errors.New("core: document not found")
+)
+
+// Config assembles an engine.
+type Config struct {
+	// Keys provides all key material (the Keys interface of Fig. 3).
+	Keys keys.Provider
+	// Cloud reaches the untrusted zone.
+	Cloud transport.Conn
+	// Local is the gateway-side store for tactic state and schema
+	// metadata.
+	Local *kvstore.Store
+	// Registry is the tactic catalog; defaults must be supplied by the
+	// caller (use tactics.Registry()).
+	Registry *spi.Registry
+}
+
+// Engine is the gateway-side middleware core.
+type Engine struct {
+	keys     keys.Provider
+	cloud    transport.Conn
+	local    *kvstore.Store
+	registry *spi.Registry
+
+	mu      sync.RWMutex
+	schemas map[string]*schemaRuntime
+}
+
+// schemaRuntime is one registered schema with its selected tactics.
+type schemaRuntime struct {
+	schema    *model.Schema
+	plans     map[string]spi.Plan   // field name -> plan
+	instances map[string]spi.Tactic // tactic name -> live instance
+	aead      *primitives.AEAD      // whole-document encryption (SecureEnc)
+
+	// docMu serializes Update/Delete flows, whose retrieve-reindex-rewrite
+	// sequences are not atomic; plain inserts need no lock (index counters
+	// are reserved atomically by the tactic clients).
+	docMu sync.Mutex
+}
+
+// NewEngine validates cfg and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Keys == nil || cfg.Cloud == nil || cfg.Local == nil || cfg.Registry == nil {
+		return nil, errors.New("core: Config requires Keys, Cloud, Local and Registry")
+	}
+	return &Engine{
+		keys:     cfg.Keys,
+		cloud:    cfg.Cloud,
+		local:    cfg.Local,
+		registry: cfg.Registry,
+		schemas:  make(map[string]*schemaRuntime),
+	}, nil
+}
+
+// Registry exposes the tactic catalog (for tooling such as Table 2
+// generation).
+func (e *Engine) Registry() *spi.Registry { return e.registry }
+
+func schemaKey(name string) []byte { return []byte("schema/" + name) }
+
+// RegisterSchema validates the schema, runs adaptive tactic selection for
+// every sensitive field, instantiates and sets up the selected tactics,
+// and persists the schema metadata (the Schema interface of Fig. 3).
+func (e *Engine) RegisterSchema(ctx context.Context, s *model.Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if _, dup := e.schemas[s.Name]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrSchemaExists, s.Name)
+	}
+	e.mu.Unlock()
+
+	rt, err := e.buildRuntime(ctx, s)
+	if err != nil {
+		return err
+	}
+
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("core: encoding schema: %w", err)
+	}
+	if err := e.local.Set(schemaKey(s.Name), raw); err != nil {
+		return fmt.Errorf("core: persisting schema: %w", err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.schemas[s.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrSchemaExists, s.Name)
+	}
+	e.schemas[s.Name] = rt
+	return nil
+}
+
+// LoadSchemas restores previously registered schemas from the gateway
+// store (gateway restart). Selection is deterministic, so plans rebuild
+// identically.
+func (e *Engine) LoadSchemas(ctx context.Context) error {
+	keysList, err := e.local.Keys([]byte("schema/"))
+	if err != nil {
+		return err
+	}
+	for _, k := range keysList {
+		raw, ok, err := e.local.Get(k)
+		if err != nil || !ok {
+			continue
+		}
+		var s model.Schema
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return fmt.Errorf("core: decoding stored schema %s: %w", k, err)
+		}
+		e.mu.RLock()
+		_, loaded := e.schemas[s.Name]
+		e.mu.RUnlock()
+		if loaded {
+			continue
+		}
+		rt, err := e.buildRuntime(ctx, &s)
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		e.schemas[s.Name] = rt
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+func (e *Engine) buildRuntime(ctx context.Context, s *model.Schema) (*schemaRuntime, error) {
+	rt := &schemaRuntime{
+		schema:    s,
+		plans:     make(map[string]spi.Plan),
+		instances: make(map[string]spi.Tactic),
+	}
+	binding := spi.Binding{Schema: s.Name, Keys: e.keys, Cloud: e.cloud, Local: e.local}
+
+	for _, f := range s.SensitiveFields() {
+		plan, err := e.registry.Select(f)
+		if err != nil {
+			return nil, err
+		}
+		rt.plans[f.Name] = plan
+		for _, name := range plan.Tactics {
+			if _, ok := rt.instances[name]; ok {
+				continue
+			}
+			reg, err := e.registry.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := reg.Factory(binding)
+			if err != nil {
+				return nil, fmt.Errorf("core: instantiating %s: %w", name, err)
+			}
+			if err := inst.Setup(ctx); err != nil {
+				return nil, fmt.Errorf("core: setting up %s: %w", name, err)
+			}
+			rt.instances[name] = inst
+		}
+	}
+
+	docKey, err := e.keys.Key(keys.Ref{Schema: s.Name, Field: "*", Tactic: "SecureEnc", Purpose: "doc"})
+	if err != nil {
+		return nil, err
+	}
+	aead, err := primitives.NewAEAD(docKey)
+	if err != nil {
+		return nil, err
+	}
+	rt.aead = aead
+	return rt, nil
+}
+
+func (e *Engine) runtime(schema string) (*schemaRuntime, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rt, ok := e.schemas[schema]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSchemaUnknown, schema)
+	}
+	return rt, nil
+}
+
+// Schemas returns the registered schema names, sorted.
+func (e *Engine) Schemas() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.schemas))
+	for n := range e.schemas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Plan returns the selected tactic plan for a field (tooling/tests).
+func (e *Engine) Plan(schema, field string) (spi.Plan, error) {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return spi.Plan{}, err
+	}
+	plan, ok := rt.plans[field]
+	if !ok {
+		return spi.Plan{}, fmt.Errorf("core: field %q has no plan (insensitive or unknown)", field)
+	}
+	return plan, nil
+}
+
+// EffectiveClass returns a field's protection level under the weakest-link
+// rule.
+func (e *Engine) EffectiveClass(schema, field string) (model.Class, error) {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return 0, err
+	}
+	plan, ok := rt.plans[field]
+	if !ok {
+		return 0, fmt.Errorf("core: field %q has no plan", field)
+	}
+	return e.registry.EffectiveClass(plan), nil
+}
+
+// GenerateID returns a fresh document id (the DocIDGen interface).
+func GenerateID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("core: generating doc id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// sealDoc encrypts the whole document (SecureEnc).
+func (rt *schemaRuntime) sealDoc(doc *model.Document) ([]byte, error) {
+	pt, err := json.Marshal(doc.Fields)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding document: %w", err)
+	}
+	return rt.aead.Seal(pt, []byte(doc.ID))
+}
+
+// openDoc decrypts a whole-document blob.
+func (rt *schemaRuntime) openDoc(id string, blob []byte) (*model.Document, error) {
+	pt, err := rt.aead.Open(blob, []byte(id))
+	if err != nil {
+		return nil, fmt.Errorf("core: document %s failed authentication: %w", id, err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(pt, &fields); err != nil {
+		return nil, fmt.Errorf("core: decoding document %s: %w", id, err)
+	}
+	normalizeJSONNumbers(rt.schema, fields)
+	return &model.Document{ID: id, Fields: fields}, nil
+}
+
+// normalizeJSONNumbers fixes JSON decoding artifacts: int fields decode as
+// float64 and must return to int64.
+func normalizeJSONNumbers(s *model.Schema, fields map[string]any) {
+	for name, v := range fields {
+		f, ok := s.Field(name)
+		if !ok {
+			continue
+		}
+		if f.Type == model.TypeInt {
+			if fv, isF := v.(float64); isF {
+				fields[name] = int64(fv)
+			}
+		}
+	}
+}
+
+// normalizeInput canonicalizes caller-provided values to the engine's
+// internal types (int64 for ints, float64 for floats).
+func normalizeInput(s *model.Schema, fields map[string]any) error {
+	for name, v := range fields {
+		f, ok := s.Field(name)
+		if !ok {
+			continue
+		}
+		switch f.Type {
+		case model.TypeInt:
+			i, _, err := model.NormalizeNumeric(v, model.TypeInt)
+			if err != nil {
+				return fmt.Errorf("core: field %q: %w", name, err)
+			}
+			fields[name] = i
+		case model.TypeFloat:
+			_, fl, err := model.NormalizeNumeric(v, model.TypeFloat)
+			if err != nil {
+				return fmt.Errorf("core: field %q: %w", name, err)
+			}
+			fields[name] = fl
+		}
+	}
+	return nil
+}
+
+// tacticFieldValues groups, for one tactic, the document's field values
+// the tactic must index.
+func (rt *schemaRuntime) tacticFieldValues(doc *model.Document) map[string]map[string]any {
+	out := make(map[string]map[string]any)
+	for field, plan := range rt.plans {
+		v, present := doc.Fields[field]
+		if !present {
+			continue
+		}
+		for _, name := range plan.Tactics {
+			m := out[name]
+			if m == nil {
+				m = make(map[string]any)
+				out[name] = m
+			}
+			m[field] = v
+		}
+	}
+	return out
+}
+
+// indexInsert feeds a document into every selected tactic index.
+func (e *Engine) indexInsert(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
+	for name, fields := range rt.tacticFieldValues(doc) {
+		inst := rt.instances[name]
+		if di, ok := inst.(spi.DocInserter); ok {
+			if err := di.InsertDoc(ctx, doc.ID, fields); err != nil {
+				return fmt.Errorf("core: %s index insert: %w", name, err)
+			}
+			continue
+		}
+		if ins, ok := inst.(spi.Inserter); ok {
+			fieldNames := sortedKeys(fields)
+			for _, f := range fieldNames {
+				if err := ins.Insert(ctx, f, doc.ID, fields[f]); err != nil {
+					return fmt.Errorf("core: %s index insert field %s: %w", name, f, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// indexDelete removes a document from every selected tactic index.
+func (e *Engine) indexDelete(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
+	for name, fields := range rt.tacticFieldValues(doc) {
+		inst := rt.instances[name]
+		if dd, ok := inst.(spi.DocDeleter); ok {
+			if err := dd.DeleteDoc(ctx, doc.ID, fields); err != nil {
+				return fmt.Errorf("core: %s index delete: %w", name, err)
+			}
+			continue
+		}
+		if del, ok := inst.(spi.Deleter); ok {
+			fieldNames := sortedKeys(fields)
+			for _, f := range fieldNames {
+				if err := del.Delete(ctx, f, doc.ID, fields[f]); err != nil {
+					return fmt.Errorf("core: %s index delete field %s: %w", name, f, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert stores a new document: whole-document encryption plus secure
+// indexing of every sensitive field (the Entities interface of Fig. 3).
+// A document with an empty ID gets a generated one; the stored ID is
+// returned.
+func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document) (string, error) {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return "", err
+	}
+	if doc.ID == "" {
+		id, err := GenerateID()
+		if err != nil {
+			return "", err
+		}
+		doc.ID = id
+	}
+	if err := normalizeInput(rt.schema, doc.Fields); err != nil {
+		return "", err
+	}
+	if err := doc.ValidateAgainst(rt.schema); err != nil {
+		return "", err
+	}
+
+	blob, err := rt.sealDoc(doc)
+	if err != nil {
+		return "", err
+	}
+
+	// No lock here: concurrent inserts of distinct documents are safe —
+	// tactic clients reserve index counters atomically, and the IfAbsent
+	// put below rejects a racing duplicate id before it reaches indexing.
+	err = e.cloud.Call(ctx, cloud.DocService, "put",
+		cloud.DocPutArgs{Collection: schema, ID: doc.ID, Blob: blob, IfAbsent: true}, nil)
+	if err != nil {
+		var re *transport.RemoteError
+		if errors.As(err, &re) && strings.Contains(re.Msg, "already exists") {
+			return "", fmt.Errorf("%w: %s", ErrDocumentExists, doc.ID)
+		}
+		return "", err
+	}
+	if err := e.indexInsert(ctx, rt, doc); err != nil {
+		return "", err
+	}
+	return doc.ID, nil
+}
+
+// Get retrieves and decrypts one document.
+func (e *Engine) Get(ctx context.Context, schema, id string) (*model.Document, error) {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return nil, err
+	}
+	var reply cloud.DocGetReply
+	if err := e.cloud.Call(ctx, cloud.DocService, "get",
+		cloud.DocGetArgs{Collection: schema, ID: id}, &reply); err != nil {
+		if transport.IsNotFoundError(err) {
+			return nil, fmt.Errorf("%w: %s", ErrDocumentMissing, id)
+		}
+		return nil, err
+	}
+	return rt.openDoc(id, reply.Blob)
+}
+
+// Update replaces a document: changed sensitive fields are re-indexed
+// (delete old + insert new), the whole-document ciphertext is rewritten.
+func (e *Engine) Update(ctx context.Context, schema string, doc *model.Document) error {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return err
+	}
+	if doc.ID == "" {
+		return errors.New("core: update requires a document id")
+	}
+	if err := normalizeInput(rt.schema, doc.Fields); err != nil {
+		return err
+	}
+	if err := doc.ValidateAgainst(rt.schema); err != nil {
+		return err
+	}
+	old, err := e.Get(ctx, schema, doc.ID)
+	if err != nil {
+		return err
+	}
+
+	rt.docMu.Lock()
+	defer rt.docMu.Unlock()
+	if err := e.indexDelete(ctx, rt, old); err != nil {
+		return err
+	}
+	blob, err := rt.sealDoc(doc)
+	if err != nil {
+		return err
+	}
+	if err := e.cloud.Call(ctx, cloud.DocService, "put",
+		cloud.DocPutArgs{Collection: schema, ID: doc.ID, Blob: blob}, nil); err != nil {
+		return err
+	}
+	return e.indexInsert(ctx, rt, doc)
+}
+
+// Delete removes a document and all its index entries.
+func (e *Engine) Delete(ctx context.Context, schema, id string) error {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return err
+	}
+	old, err := e.Get(ctx, schema, id)
+	if err != nil {
+		return err
+	}
+	rt.docMu.Lock()
+	defer rt.docMu.Unlock()
+	if err := e.indexDelete(ctx, rt, old); err != nil {
+		return err
+	}
+	if err := e.cloud.Call(ctx, cloud.DocService, "delete",
+		cloud.DocDeleteArgs{Collection: schema, ID: id}, nil); err != nil {
+		if transport.IsNotFoundError(err) {
+			return fmt.Errorf("%w: %s", ErrDocumentMissing, id)
+		}
+		return err
+	}
+	return nil
+}
+
+// Compact runs index maintenance for one (field, value) keyword: if the
+// field's search tactic supports compaction (BIEX's 2Lev packed rebuild),
+// its cells are repacked for read efficiency. Fields without a compacting
+// tactic return nil (nothing to do).
+func (e *Engine) Compact(ctx context.Context, schema, field string, value any) error {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return err
+	}
+	plan, ok := rt.plans[field]
+	if !ok {
+		return fmt.Errorf("core: field %q has no plan", field)
+	}
+	for _, name := range plan.Tactics {
+		if c, ok := rt.instances[name].(spi.Compactor); ok {
+			if err := c.Compact(ctx, field, value); err != nil {
+				return fmt.Errorf("core: compacting %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of stored documents.
+func (e *Engine) Count(ctx context.Context, schema string) (int, error) {
+	if _, err := e.runtime(schema); err != nil {
+		return 0, err
+	}
+	var reply cloud.DocCountReply
+	if err := e.cloud.Call(ctx, cloud.DocService, "count",
+		cloud.DocCountArgs{Collection: schema}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Count, nil
+}
+
+// Fetch retrieves and decrypts the documents with the given ids, skipping
+// missing ones, preserving id order.
+func (e *Engine) Fetch(ctx context.Context, schema string, ids []string) ([]*model.Document, error) {
+	rt, err := e.runtime(schema)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var reply cloud.DocGetManyReply
+	if err := e.cloud.Call(ctx, cloud.DocService, "getmany",
+		cloud.DocGetManyArgs{Collection: schema, IDs: ids}, &reply); err != nil {
+		return nil, err
+	}
+	docs := make([]*model.Document, 0, len(reply.Records))
+	for _, rec := range reply.Records {
+		doc, err := rt.openDoc(rec.ID, rec.Blob)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}

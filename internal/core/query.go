@@ -1,0 +1,182 @@
+// Query AST and DNF compilation for the middleware-core subsystem.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"datablinder/internal/spi"
+)
+
+// Predicate is a node of the search query tree.
+type Predicate interface {
+	isPredicate()
+}
+
+// Eq matches documents whose field equals Value.
+type Eq struct {
+	Field string
+	Value any
+}
+
+// Range matches documents whose numeric field lies within [Lo, Hi]; nil
+// bounds are open, inclusivity is per bound.
+type Range struct {
+	Field        string
+	Lo, Hi       any
+	LoInc, HiInc bool
+}
+
+// And is the conjunction of its children.
+type And struct {
+	Preds []Predicate
+}
+
+// Or is the disjunction of its children.
+type Or struct {
+	Preds []Predicate
+}
+
+// Not negates its child.
+type Not struct {
+	Pred Predicate
+}
+
+func (Eq) isPredicate()    {}
+func (Range) isPredicate() {}
+func (And) isPredicate()   {}
+func (Or) isPredicate()    {}
+func (Not) isPredicate()   {}
+
+// Gte / Lte / Between are convenience constructors for common ranges.
+
+// Gte matches field >= v.
+func Gte(field string, v any) Range { return Range{Field: field, Lo: v, LoInc: true} }
+
+// Lte matches field <= v.
+func Lte(field string, v any) Range { return Range{Field: field, Hi: v, HiInc: true} }
+
+// Between matches lo <= field <= hi.
+func Between(field string, lo, hi any) Range {
+	return Range{Field: field, Lo: lo, Hi: hi, LoInc: true, HiInc: true}
+}
+
+// maxDNFConjunctions bounds DNF expansion; beyond it the planner falls
+// back to recursive set evaluation.
+const maxDNFConjunctions = 64
+
+// errNotBoolean reports that a predicate tree cannot be compiled into a
+// pure boolean (Eq-leaf DNF) query.
+var errNotBoolean = errors.New("core: predicate is not a pure boolean query")
+
+// compileDNF converts a predicate tree whose leaves are all Eq into
+// disjunctive normal form. Negations push inward via De Morgan's laws.
+func compileDNF(p Predicate, negate bool) (spi.BoolQuery, error) {
+	switch q := p.(type) {
+	case Eq:
+		return spi.BoolQuery{{{Field: q.Field, Value: q.Value, Negated: negate}}}, nil
+	case Not:
+		return compileDNF(q.Pred, !negate)
+	case And:
+		if negate {
+			return compileDNF(Or{Preds: negateAll(q.Preds)}, false)
+		}
+		return crossProduct(q.Preds)
+	case Or:
+		if negate {
+			return compileDNF(And{Preds: negateAll(q.Preds)}, false)
+		}
+		var out spi.BoolQuery
+		for _, child := range q.Preds {
+			sub, err := compileDNF(child, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			if len(out) > maxDNFConjunctions {
+				return nil, fmt.Errorf("core: DNF exceeds %d conjunctions", maxDNFConjunctions)
+			}
+		}
+		return out, nil
+	case Range:
+		return nil, errNotBoolean
+	default:
+		return nil, fmt.Errorf("core: unknown predicate %T", p)
+	}
+}
+
+func negateAll(preds []Predicate) []Predicate {
+	out := make([]Predicate, len(preds))
+	for i, p := range preds {
+		out[i] = Not{Pred: p}
+	}
+	return out
+}
+
+// crossProduct computes the DNF of a conjunction: the cross product of the
+// children's DNFs.
+func crossProduct(preds []Predicate) (spi.BoolQuery, error) {
+	acc := spi.BoolQuery{{}} // one empty conjunction
+	for _, child := range preds {
+		sub, err := compileDNF(child, false)
+		if err != nil {
+			return nil, err
+		}
+		next := make(spi.BoolQuery, 0, len(acc)*len(sub))
+		for _, a := range acc {
+			for _, s := range sub {
+				conj := make([]spi.BoolLiteral, 0, len(a)+len(s))
+				conj = append(conj, a...)
+				conj = append(conj, s...)
+				next = append(next, conj)
+			}
+		}
+		if len(next) > maxDNFConjunctions {
+			return nil, fmt.Errorf("core: DNF exceeds %d conjunctions", maxDNFConjunctions)
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// boolQueryValid reports whether every conjunction has at least one
+// positive literal (the IEX anchor requirement).
+func boolQueryValid(q spi.BoolQuery) bool {
+	if len(q) == 0 {
+		return false
+	}
+	for _, conj := range q {
+		ok := false
+		for _, l := range conj {
+			if !l.Negated {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// predicateFields collects the distinct field names referenced by p.
+func predicateFields(p Predicate, out map[string]bool) {
+	switch q := p.(type) {
+	case Eq:
+		out[q.Field] = true
+	case Range:
+		out[q.Field] = true
+	case And:
+		for _, c := range q.Preds {
+			predicateFields(c, out)
+		}
+	case Or:
+		for _, c := range q.Preds {
+			predicateFields(c, out)
+		}
+	case Not:
+		predicateFields(q.Pred, out)
+	}
+}

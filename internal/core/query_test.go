@@ -1,0 +1,135 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"datablinder/internal/spi"
+)
+
+func lit(f, v string) spi.BoolLiteral  { return spi.BoolLiteral{Field: f, Value: v} }
+func nlit(f, v string) spi.BoolLiteral { return spi.BoolLiteral{Field: f, Value: v, Negated: true} }
+func eq(f, v string) Eq                { return Eq{Field: f, Value: v} }
+func and(ps ...Predicate) And          { return And{Preds: ps} }
+func or(ps ...Predicate) Or            { return Or{Preds: ps} }
+func dnfOf(t *testing.T, p Predicate) spi.BoolQuery {
+	t.Helper()
+	q, err := compileDNF(p, false)
+	if err != nil {
+		t.Fatalf("compileDNF: %v", err)
+	}
+	return q
+}
+
+func TestCompileDNFLeaf(t *testing.T) {
+	q := dnfOf(t, eq("a", "1"))
+	want := spi.BoolQuery{{lit("a", "1")}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("DNF = %+v", q)
+	}
+}
+
+func TestCompileDNFConjunction(t *testing.T) {
+	q := dnfOf(t, and(eq("a", "1"), eq("b", "2"), eq("c", "3")))
+	if len(q) != 1 || len(q[0]) != 3 {
+		t.Fatalf("DNF = %+v", q)
+	}
+}
+
+func TestCompileDNFDisjunction(t *testing.T) {
+	q := dnfOf(t, or(eq("a", "1"), eq("b", "2")))
+	want := spi.BoolQuery{{lit("a", "1")}, {lit("b", "2")}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("DNF = %+v", q)
+	}
+}
+
+func TestCompileDNFDistribution(t *testing.T) {
+	// (a OR b) AND (c OR d) -> ac, ad, bc, bd.
+	q := dnfOf(t, and(or(eq("a", "1"), eq("b", "2")), or(eq("c", "3"), eq("d", "4"))))
+	if len(q) != 4 {
+		t.Fatalf("DNF has %d conjunctions, want 4: %+v", len(q), q)
+	}
+	for _, conj := range q {
+		if len(conj) != 2 {
+			t.Fatalf("conjunction size = %d", len(conj))
+		}
+	}
+}
+
+func TestCompileDNFDeMorgan(t *testing.T) {
+	// NOT (a AND b) -> (NOT a) OR (NOT b).
+	q := dnfOf(t, Not{Pred: and(eq("a", "1"), eq("b", "2"))})
+	want := spi.BoolQuery{{nlit("a", "1")}, {nlit("b", "2")}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("DNF = %+v", q)
+	}
+	// NOT (a OR b) -> (NOT a) AND (NOT b).
+	q = dnfOf(t, Not{Pred: or(eq("a", "1"), eq("b", "2"))})
+	want = spi.BoolQuery{{nlit("a", "1"), nlit("b", "2")}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("DNF = %+v", q)
+	}
+	// Double negation cancels.
+	q = dnfOf(t, Not{Pred: Not{Pred: eq("a", "1")}})
+	want = spi.BoolQuery{{lit("a", "1")}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("DNF = %+v", q)
+	}
+}
+
+func TestCompileDNFRejectsRanges(t *testing.T) {
+	if _, err := compileDNF(and(eq("a", "1"), Between("b", 1, 2)), false); err == nil {
+		t.Fatal("range leaf compiled to DNF")
+	}
+}
+
+func TestCompileDNFExplosionBounded(t *testing.T) {
+	// 7 binary disjunctions conjoined -> 128 conjunctions > cap of 64.
+	var preds []Predicate
+	for i := 0; i < 7; i++ {
+		preds = append(preds, or(eq("a", "1"), eq("b", "2")))
+	}
+	if _, err := compileDNF(and(preds...), false); err == nil {
+		t.Fatal("DNF explosion not bounded")
+	}
+}
+
+func TestBoolQueryValid(t *testing.T) {
+	if boolQueryValid(nil) {
+		t.Fatal("empty query valid")
+	}
+	if !boolQueryValid(spi.BoolQuery{{lit("a", "1")}}) {
+		t.Fatal("positive literal invalid")
+	}
+	if boolQueryValid(spi.BoolQuery{{nlit("a", "1")}}) {
+		t.Fatal("all-negative conjunction valid")
+	}
+	if !boolQueryValid(spi.BoolQuery{{nlit("a", "1"), lit("b", "2")}}) {
+		t.Fatal("mixed conjunction invalid")
+	}
+}
+
+func TestPredicateFields(t *testing.T) {
+	p := and(eq("a", "1"), or(Between("b", 1, 2), Not{Pred: eq("c", "3")}))
+	got := map[string]bool{}
+	predicateFields(p, got)
+	if len(got) != 3 || !got["a"] || !got["b"] || !got["c"] {
+		t.Fatalf("fields = %v", got)
+	}
+}
+
+func TestRangeConstructors(t *testing.T) {
+	r := Gte("f", 5)
+	if r.Lo != 5 || !r.LoInc || r.Hi != nil {
+		t.Fatalf("Gte = %+v", r)
+	}
+	r = Lte("f", 9)
+	if r.Hi != 9 || !r.HiInc || r.Lo != nil {
+		t.Fatalf("Lte = %+v", r)
+	}
+	r = Between("f", 1, 2)
+	if r.Lo != 1 || r.Hi != 2 || !r.LoInc || !r.HiInc {
+		t.Fatalf("Between = %+v", r)
+	}
+}

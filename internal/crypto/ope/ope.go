@@ -1,0 +1,181 @@
+// Package ope implements a stateless order-preserving encryption scheme in
+// the style of Boldyreva et al. (the OPE tactic, protection class 5 —
+// order leakage).
+//
+// The scheme maps the 64-bit unsigned plaintext domain into a 96-bit
+// ciphertext range by recursive binary range splitting: at each recursion
+// node the range split point is drawn pseudo-randomly (PRF-keyed, hence
+// deterministic per key) from the window that leaves both halves enough
+// room. Equal plaintexts always map to equal ciphertexts and the mapping
+// is strictly monotone.
+//
+// Substitution note (recorded in DESIGN.md): the reference construction
+// samples the split with a hypergeometric distribution; this implementation
+// samples uniformly. That changes only the distribution of ciphertext gaps
+// — determinism, strict monotonicity, and the order-leakage profile are
+// identical, which is what the middleware's behaviour depends on.
+package ope
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+
+	"datablinder/internal/crypto/primitives"
+)
+
+// CiphertextSize is the fixed serialized ciphertext width in bytes
+// (96 bits, big-endian). Lexicographic byte comparison of ciphertexts
+// matches numeric order.
+const CiphertextSize = 12
+
+// rangeBits is the ciphertext range size in bits.
+const rangeBits = 96
+
+// ErrCiphertextSize is returned when decrypt/compare inputs have the wrong width.
+var ErrCiphertextSize = errors.New("ope: ciphertext must be 12 bytes")
+
+// Cipher is a stateless OPE cipher. It is safe for concurrent use.
+type Cipher struct {
+	key primitives.Key
+}
+
+// New constructs an OPE cipher from key.
+func New(key primitives.Key) *Cipher {
+	return &Cipher{key: key}
+}
+
+var (
+	domainMax = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 64), big.NewInt(1))
+	rangeMax  = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), rangeBits), big.NewInt(1))
+)
+
+// EncryptUint64 maps m to its order-preserving ciphertext.
+func (c *Cipher) EncryptUint64(m uint64) []byte {
+	ct := c.encrypt(new(big.Int).SetUint64(m))
+	out := make([]byte, CiphertextSize)
+	ct.FillBytes(out)
+	return out
+}
+
+// EncryptInt64 maps a signed value through the order-preserving
+// offset-by-2^63 embedding, so signed comparisons are preserved.
+func (c *Cipher) EncryptInt64(v int64) []byte {
+	return c.EncryptUint64(uint64(v) ^ (1 << 63))
+}
+
+// DecryptUint64 recovers the plaintext by binary search over the same
+// deterministic mapping used for encryption.
+func (c *Cipher) DecryptUint64(ct []byte) (uint64, error) {
+	if len(ct) != CiphertextSize {
+		return 0, ErrCiphertextSize
+	}
+	target := new(big.Int).SetBytes(ct)
+	lo, hi := uint64(0), ^uint64(0)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		mc := c.encrypt(new(big.Int).SetUint64(mid))
+		switch mc.Cmp(target) {
+		case 0:
+			return mid, nil
+		case -1:
+			lo = mid + 1
+		default:
+			if mid == 0 {
+				return 0, errors.New("ope: ciphertext does not decrypt")
+			}
+			hi = mid - 1
+		}
+	}
+	if c.encrypt(new(big.Int).SetUint64(lo)).Cmp(target) != 0 {
+		return 0, errors.New("ope: ciphertext does not decrypt")
+	}
+	return lo, nil
+}
+
+// DecryptInt64 reverses EncryptInt64.
+func (c *Cipher) DecryptInt64(ct []byte) (int64, error) {
+	u, err := c.DecryptUint64(ct)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u ^ (1 << 63)), nil
+}
+
+// Compare orders two ciphertexts: -1, 0, or +1. It requires no key and is
+// the operation the cloud side runs for range queries.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// encrypt walks the deterministic recursive range split.
+func (c *Cipher) encrypt(m *big.Int) *big.Int {
+	dlo := new(big.Int)
+	dhi := new(big.Int).Set(domainMax)
+	rlo := new(big.Int)
+	rhi := new(big.Int).Set(rangeMax)
+
+	one := big.NewInt(1)
+	for dlo.Cmp(dhi) < 0 {
+		// dm = dlo + (dhi-dlo)/2
+		dm := new(big.Int).Sub(dhi, dlo)
+		dm.Rsh(dm, 1)
+		dm.Add(dm, dlo)
+
+		// Window for the split point rm:
+		//   rmMin = rlo + (dm - dlo)   (left half keeps >= left domain size)
+		//   rmMax = rhi - (dhi - dm)   (right half keeps >= right domain size)
+		rmMin := new(big.Int).Sub(dm, dlo)
+		rmMin.Add(rmMin, rlo)
+		rmMax := new(big.Int).Sub(dhi, dm)
+		rmMax.Sub(rhi, rmMax)
+
+		rm := c.uniform(rmMin, rmMax, dlo, dhi, rlo, rhi)
+
+		if m.Cmp(dm) <= 0 {
+			dhi.Set(dm)
+			rhi.Set(rm)
+		} else {
+			dlo.Add(dm, one)
+			rlo.Add(rm, one)
+		}
+	}
+	// Single plaintext left: pick its ciphertext uniformly in the leaf range.
+	return c.uniform(rlo, rhi, dlo, dhi, rlo, rhi)
+}
+
+// uniform deterministically samples a value in [lo, hi] keyed by the full
+// recursion node coordinates, via counter-mode PRF rejection sampling.
+func (c *Cipher) uniform(lo, hi, dlo, dhi, rlo, rhi *big.Int) *big.Int {
+	size := new(big.Int).Sub(hi, lo)
+	size.Add(size, big.NewInt(1))
+	if size.Sign() <= 0 {
+		// The window invariant guarantees lo <= hi; violation is a bug.
+		panic("ope: empty sampling window")
+	}
+	seed := make([]byte, 0, 4*CiphertextSize)
+	seed = append(seed, pad(dlo)...)
+	seed = append(seed, pad(dhi)...)
+	seed = append(seed, pad(rlo)...)
+	seed = append(seed, pad(rhi)...)
+
+	// Rejection sampling: draw 128-bit candidates until one falls below the
+	// largest multiple of size (eliminates modulo bias); the loop is
+	// deterministic because the counter is part of the PRF input.
+	bound := new(big.Int).Lsh(big.NewInt(1), 128)
+	limit := new(big.Int).Div(bound, size)
+	limit.Mul(limit, size)
+	for ctr := uint64(0); ; ctr++ {
+		draw := primitives.PRF(c.key, seed, primitives.Uint64Bytes(ctr))
+		v := new(big.Int).SetBytes(draw[:16])
+		if v.Cmp(limit) >= 0 {
+			continue
+		}
+		v.Mod(v, size)
+		return v.Add(v, lo)
+	}
+}
+
+func pad(v *big.Int) []byte {
+	out := make([]byte, CiphertextSize+1)
+	v.FillBytes(out)
+	return out
+}

@@ -1,0 +1,100 @@
+// Package ore implements a practical order-revealing encryption scheme in
+// the style of Chenette–Lewi–Weis–Wu (FSE 2016), the construction behind
+// the FastORE library the paper integrates (the ORE tactic, protection
+// class 5 — order leakage).
+//
+// Unlike OPE, ciphertexts are not themselves ordered numbers; a public
+// Compare function reveals the order (and nothing else beyond the index of
+// the first differing bit, the scheme's documented leakage). For each bit
+// position i of the 64-bit plaintext, the ciphertext stores
+//
+//	u_i = ( PRF(k, prefix_{i}) + b_i ) mod 3
+//
+// where prefix_i is the i-bit prefix of the plaintext. Comparison scans for
+// the first position where two ciphertexts disagree and uses mod-3
+// arithmetic to learn which plaintext is larger.
+package ore
+
+import (
+	"bytes"
+	"errors"
+
+	"datablinder/internal/crypto/primitives"
+)
+
+// Bits is the plaintext width in bits.
+const Bits = 64
+
+// CiphertextSize is the serialized ciphertext width: one byte per bit
+// position (values in {0,1,2}).
+const CiphertextSize = Bits
+
+// Errors returned by this package.
+var (
+	ErrCiphertextSize = errors.New("ore: ciphertext must be 64 bytes")
+	ErrMalformed      = errors.New("ore: malformed ciphertext")
+)
+
+// Cipher is a stateless ORE cipher. It is safe for concurrent use.
+type Cipher struct {
+	key primitives.Key
+}
+
+// New constructs an ORE cipher from key.
+func New(key primitives.Key) *Cipher {
+	return &Cipher{key: key}
+}
+
+// EncryptUint64 encrypts m. Encryption is deterministic per key.
+func (c *Cipher) EncryptUint64(m uint64) []byte {
+	out := make([]byte, CiphertextSize)
+	// prefix holds the bits of m above position i, packed into a uint64 and
+	// tagged with the bit index so distinct positions never collide.
+	for i := 0; i < Bits; i++ {
+		shift := uint(Bits - i)
+		var prefix uint64
+		if shift < 64 {
+			prefix = m >> shift
+		}
+		b := (m >> uint(Bits-1-i)) & 1
+		f := primitives.PRFUint64(c.key,
+			primitives.Uint64Bytes(uint64(i)),
+			primitives.Uint64Bytes(prefix))
+		out[i] = byte((f + b) % 3)
+	}
+	return out
+}
+
+// EncryptInt64 embeds signed values order-preservingly (offset by 2^63).
+func (c *Cipher) EncryptInt64(v int64) []byte {
+	return c.EncryptUint64(uint64(v) ^ (1 << 63))
+}
+
+// Compare reveals the order of the plaintexts inside a and b without any
+// key. It is the operation the cloud executes for range predicates.
+func Compare(a, b []byte) (int, error) {
+	if len(a) != CiphertextSize || len(b) != CiphertextSize {
+		return 0, ErrCiphertextSize
+	}
+	for i := 0; i < CiphertextSize; i++ {
+		if a[i] > 2 || b[i] > 2 {
+			return 0, ErrMalformed
+		}
+		if a[i] == b[i] {
+			continue
+		}
+		// At the first differing position the prefixes were equal, so the
+		// PRF values were equal and the difference is the plaintext bit:
+		// b_i(b) - b_i(a) mod 3 == 1 means a's bit is 0 and b's bit is 1.
+		if (a[i]+1)%3 == b[i] {
+			return -1, nil
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Equal reports whether two ciphertexts encrypt the same plaintext.
+func Equal(a, b []byte) bool {
+	return len(a) == CiphertextSize && bytes.Equal(a, b)
+}

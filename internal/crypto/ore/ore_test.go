@@ -1,0 +1,154 @@
+package ore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datablinder/internal/crypto/primitives"
+)
+
+func cipher(t testing.TB) *Cipher {
+	t.Helper()
+	k, err := primitives.NewRandomKey()
+	if err != nil {
+		t.Fatalf("key: %v", err)
+	}
+	return New(k)
+}
+
+func TestDeterminism(t *testing.T) {
+	c := cipher(t)
+	if !bytes.Equal(c.EncryptUint64(99), c.EncryptUint64(99)) {
+		t.Fatal("ORE not deterministic")
+	}
+}
+
+func TestCiphertextShape(t *testing.T) {
+	c := cipher(t)
+	ct := c.EncryptUint64(12345)
+	if len(ct) != CiphertextSize {
+		t.Fatalf("size = %d, want %d", len(ct), CiphertextSize)
+	}
+	for i, b := range ct {
+		if b > 2 {
+			t.Fatalf("position %d holds %d, want mod-3 value", i, b)
+		}
+	}
+}
+
+func TestCompareFixed(t *testing.T) {
+	c := cipher(t)
+	tests := []struct {
+		a, b uint64
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, -1},
+		{1, 0, 1},
+		{5, 5, 0},
+		{100, 200, -1},
+		{1 << 40, 1 << 39, 1},
+		{math.MaxUint64, math.MaxUint64 - 1, 1},
+		{math.MaxUint64, math.MaxUint64, 0},
+	}
+	for _, tt := range tests {
+		got, err := Compare(c.EncryptUint64(tt.a), c.EncryptUint64(tt.b))
+		if err != nil {
+			t.Fatalf("Compare(%d,%d): %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Fatalf("Compare(Enc(%d),Enc(%d)) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareQuick(t *testing.T) {
+	c := cipher(t)
+	f := func(a, b uint64) bool {
+		got, err := Compare(c.EncryptUint64(a), c.EncryptUint64(b))
+		if err != nil {
+			return false
+		}
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedEmbedding(t *testing.T) {
+	c := cipher(t)
+	values := []int64{math.MinInt64, -5, -1, 0, 1, 5, math.MaxInt64}
+	for i := 1; i < len(values); i++ {
+		got, err := Compare(c.EncryptInt64(values[i-1]), c.EncryptInt64(values[i]))
+		if err != nil || got != -1 {
+			t.Fatalf("Compare(Enc(%d),Enc(%d)) = %d, %v", values[i-1], values[i], got, err)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	c := cipher(t)
+	ct := c.EncryptUint64(1)
+	if _, err := Compare(ct[:10], ct); err != ErrCiphertextSize {
+		t.Fatalf("short input: %v", err)
+	}
+	bad := append([]byte(nil), ct...)
+	bad[0] = 7 // not a mod-3 value
+	if _, err := Compare(bad, ct); err != ErrMalformed {
+		t.Fatalf("malformed input: %v", err)
+	}
+}
+
+func TestEqualHelper(t *testing.T) {
+	c := cipher(t)
+	a := c.EncryptUint64(77)
+	b := c.EncryptUint64(77)
+	if !Equal(a, b) {
+		t.Fatal("Equal(same plaintext) = false")
+	}
+	if Equal(a, c.EncryptUint64(78)) {
+		t.Fatal("Equal(different plaintexts) = true")
+	}
+	if Equal(a[:5], b) {
+		t.Fatal("Equal accepted short ciphertext")
+	}
+}
+
+func TestKeysDiffer(t *testing.T) {
+	c1, c2 := cipher(t), cipher(t)
+	if bytes.Equal(c1.EncryptUint64(42), c2.EncryptUint64(42)) {
+		t.Fatal("two keys produced identical ciphertexts")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := cipher(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncryptUint64(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	c := cipher(b)
+	x := c.EncryptUint64(123)
+	y := c.EncryptUint64(456)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package paillier implements the Paillier public-key cryptosystem
+// (Paillier, EUROCRYPT 1999): an additively homomorphic scheme used by the
+// DataBlinder Sum and Average aggregate tactics. The original system used
+// the Javallier library; this is a from-scratch implementation over
+// math/big.
+//
+// Homomorphic properties (all mod n²):
+//
+//	Enc(a) * Enc(b)   = Enc(a + b)
+//	Enc(a) ^ k        = Enc(a * k)
+//
+// Signed values are supported by encoding negatives as n - |v| and decoding
+// plaintexts above n/2 back to negative numbers.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Common errors.
+var (
+	ErrKeySize        = errors.New("paillier: key size must be at least 256 bits")
+	ErrMessageRange   = errors.New("paillier: message out of range")
+	ErrInvalidCipher  = errors.New("paillier: ciphertext out of range")
+	ErrMismatchedKeys = errors.New("paillier: ciphertexts from different keys")
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key.
+type PublicKey struct {
+	N  *big.Int // modulus n = p*q
+	G  *big.Int // generator, fixed to n+1
+	N2 *big.Int // n² cache
+}
+
+// PrivateKey is a Paillier private key.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int // lcm(p-1, q-1)
+	Mu     *big.Int // (L(g^lambda mod n²))^-1 mod n
+}
+
+// GenerateKey creates a Paillier key pair with an n of the given bit size.
+// Bit sizes of 1024+ are cryptographically meaningful; tests may use
+// smaller sizes (>= 256) for speed.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 256 {
+		return nil, ErrKeySize
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+
+		// mu = (L(g^lambda mod n²))^-1 mod n, with L(x) = (x-1)/n.
+		glambda := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(glambda, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue // degenerate parameters; retry
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, G: g, N2: n2},
+			Lambda:    lambda,
+			Mu:        mu,
+		}, nil
+	}
+}
+
+func lFunc(x, n *big.Int) *big.Int {
+	r := new(big.Int).Sub(x, one)
+	return r.Div(r, n)
+}
+
+// Ciphertext is a Paillier ciphertext bound to its public key.
+type Ciphertext struct {
+	C  *big.Int
+	pk *PublicKey
+}
+
+// maxAbs returns the largest magnitude the signed encoding can represent:
+// values v with |v| <= (n-1)/2 round-trip safely.
+func (pk *PublicKey) maxAbs() *big.Int {
+	m := new(big.Int).Sub(pk.N, one)
+	return m.Rsh(m, 1)
+}
+
+// encode maps a signed big.Int into Z_n.
+func (pk *PublicKey) encode(v *big.Int) (*big.Int, error) {
+	if new(big.Int).Abs(v).Cmp(pk.maxAbs()) > 0 {
+		return nil, ErrMessageRange
+	}
+	if v.Sign() >= 0 {
+		return new(big.Int).Set(v), nil
+	}
+	return new(big.Int).Add(pk.N, v), nil
+}
+
+// decode maps an element of Z_n back to a signed big.Int.
+func (pk *PublicKey) decode(m *big.Int) *big.Int {
+	if m.Cmp(pk.maxAbs()) > 0 {
+		return new(big.Int).Sub(m, pk.N)
+	}
+	return new(big.Int).Set(m)
+}
+
+// Encrypt encrypts the signed value v.
+func (pk *PublicKey) Encrypt(v *big.Int) (*Ciphertext, error) {
+	m, err := pk.encode(v)
+	if err != nil {
+		return nil, err
+	}
+	// r uniform in [1, n) with gcd(r, n) = 1.
+	var r *big.Int
+	for {
+		r, err = rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sampling r: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// c = g^m * r^n mod n². With g = n+1: g^m = 1 + m*n (mod n²).
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c, pk: pk}, nil
+}
+
+// EncryptInt64 encrypts a signed 64-bit value.
+func (pk *PublicKey) EncryptInt64(v int64) (*Ciphertext, error) {
+	return pk.Encrypt(big.NewInt(v))
+}
+
+// EncryptZero returns a fresh encryption of zero, the identity element for
+// homomorphic addition.
+func (pk *PublicKey) EncryptZero() (*Ciphertext, error) {
+	return pk.Encrypt(big.NewInt(0))
+}
+
+// Decrypt recovers the signed plaintext from ct.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return nil, ErrInvalidCipher
+	}
+	clambda := new(big.Int).Exp(ct.C, sk.Lambda, sk.N2)
+	m := lFunc(clambda, sk.N)
+	m.Mul(m, sk.Mu)
+	m.Mod(m, sk.N)
+	return sk.decode(m), nil
+}
+
+// DecryptInt64 decrypts and converts to int64, erroring on overflow.
+func (sk *PrivateKey) DecryptInt64(ct *Ciphertext) (int64, error) {
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	if !m.IsInt64() {
+		return 0, fmt.Errorf("paillier: plaintext %s exceeds int64", m)
+	}
+	return m.Int64(), nil
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(a,b)) = Dec(a)+Dec(b).
+func Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if a.pk == nil || b.pk == nil || a.pk.N.Cmp(b.pk.N) != 0 {
+		return nil, ErrMismatchedKeys
+	}
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, a.pk.N2)
+	return &Ciphertext{C: c, pk: a.pk}, nil
+}
+
+// AddPlain homomorphically adds plaintext v to ciphertext a.
+func AddPlain(a *Ciphertext, v *big.Int) (*Ciphertext, error) {
+	m, err := a.pk.encode(v)
+	if err != nil {
+		return nil, err
+	}
+	gm := new(big.Int).Mul(m, a.pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, a.pk.N2)
+	c := gm.Mul(gm, a.C)
+	c.Mod(c, a.pk.N2)
+	return &Ciphertext{C: c, pk: a.pk}, nil
+}
+
+// MulPlain homomorphically multiplies the plaintext inside a by scalar k:
+// Dec(MulPlain(a,k)) = Dec(a)*k.
+func MulPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	m, err := a.pk.encode(k)
+	if err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Exp(a.C, m, a.pk.N2)
+	return &Ciphertext{C: c, pk: a.pk}, nil
+}
+
+// Sum homomorphically adds a sequence of ciphertexts. It returns an
+// encryption of zero for an empty input, which requires pk.
+func Sum(pk *PublicKey, cts ...*Ciphertext) (*Ciphertext, error) {
+	acc, err := pk.EncryptZero()
+	if err != nil {
+		return nil, err
+	}
+	for _, ct := range cts {
+		acc, err = Add(acc, ct)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Bytes serializes the ciphertext value.
+func (ct *Ciphertext) Bytes() []byte { return ct.C.Bytes() }
+
+// CiphertextFromBytes deserializes a ciphertext under pk.
+func CiphertextFromBytes(pk *PublicKey, b []byte) (*Ciphertext, error) {
+	c := new(big.Int).SetBytes(b)
+	if c.Sign() <= 0 || c.Cmp(pk.N2) >= 0 {
+		return nil, ErrInvalidCipher
+	}
+	return &Ciphertext{C: c, pk: pk}, nil
+}
+
+// PublicKeyFromN reconstructs a public key from its modulus bytes. It is
+// used to ship the key to the cloud side for aggregate protocols.
+func PublicKeyFromN(nBytes []byte) (*PublicKey, error) {
+	n := new(big.Int).SetBytes(nBytes)
+	if n.BitLen() < 256 {
+		return nil, ErrKeySize
+	}
+	return &PublicKey{
+		N:  n,
+		G:  new(big.Int).Add(n, one),
+		N2: new(big.Int).Mul(n, n),
+	}, nil
+}
+
+// Bytes serializes the public key (its modulus).
+func (pk *PublicKey) Bytes() []byte { return pk.N.Bytes() }

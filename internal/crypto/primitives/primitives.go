@@ -1,0 +1,248 @@
+// Package primitives provides the basic cryptographic building blocks used
+// by every DataBlinder tactic: an AEAD cipher (AES-256-GCM), a PRF
+// (HMAC-SHA256), HKDF key derivation, and a deterministic SIV-style
+// encryption mode.
+//
+// These correspond to the Bouncy Castle primitives used by the original
+// DataBlinder proof of concept (AES/GCM, HMAC-SHA256, etc.), implemented
+// here on top of the Go standard library.
+package primitives
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// KeySize is the byte length of all symmetric keys (AES-256, HMAC).
+	KeySize = 32
+	// NonceSize is the AES-GCM nonce length in bytes.
+	NonceSize = 12
+	// TagSize is the AES-GCM authentication tag length in bytes.
+	TagSize = 16
+	// PRFSize is the output length of the PRF (HMAC-SHA256).
+	PRFSize = sha256.Size
+)
+
+// Common errors returned by this package.
+var (
+	ErrBadKeyLength   = errors.New("primitives: key must be 32 bytes")
+	ErrCiphertext     = errors.New("primitives: ciphertext too short")
+	ErrAuthentication = errors.New("primitives: message authentication failed")
+)
+
+// Key is a 32-byte symmetric key.
+type Key [KeySize]byte
+
+// NewRandomKey returns a fresh key drawn from crypto/rand.
+func NewRandomKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("primitives: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies b into a Key. b must be exactly KeySize bytes.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, ErrBadKeyLength
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Zero overwrites the key material.
+func (k *Key) Zero() {
+	for i := range k {
+		k[i] = 0
+	}
+}
+
+// PRF computes HMAC-SHA256(key, data...) over the concatenation of the data
+// slices. It is the universal pseudo-random function used for token and
+// address derivation throughout the SSE schemes.
+func PRF(key Key, data ...[]byte) []byte {
+	mac := hmac.New(sha256.New, key[:])
+	for _, d := range data {
+		mac.Write(d)
+	}
+	return mac.Sum(nil)
+}
+
+// PRFKey derives a sub-Key via the PRF. It is a convenience for building
+// per-keyword or per-field key hierarchies.
+func PRFKey(key Key, data ...[]byte) Key {
+	var out Key
+	copy(out[:], PRF(key, data...))
+	return out
+}
+
+// PRFUint64 derives a pseudo-random uint64 from the PRF output.
+func PRFUint64(key Key, data ...[]byte) uint64 {
+	return binary.BigEndian.Uint64(PRF(key, data...)[:8])
+}
+
+// HKDF derives length bytes of key material from the input keying material
+// using HKDF-SHA256 (RFC 5869) with the given salt and info strings.
+func HKDF(ikm, salt, info []byte, length int) ([]byte, error) {
+	if length <= 0 || length > 255*sha256.Size {
+		return nil, fmt.Errorf("primitives: invalid HKDF output length %d", length)
+	}
+	// Extract.
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(ikm)
+	prk := ext.Sum(nil)
+	// Expand.
+	out := make([]byte, 0, length)
+	var prev []byte
+	for i := byte(1); len(out) < length; i++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(prev)
+		exp.Write(info)
+		exp.Write([]byte{i})
+		prev = exp.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}
+
+// DeriveKey derives a named sub-key from a master key using HKDF with the
+// label as info. Derivation is deterministic: the same (master, label)
+// always yields the same sub-key.
+func DeriveKey(master Key, label string) (Key, error) {
+	raw, err := HKDF(master[:], nil, []byte(label), KeySize)
+	if err != nil {
+		return Key{}, err
+	}
+	return KeyFromBytes(raw)
+}
+
+// AEAD wraps AES-256-GCM for authenticated encryption with associated data.
+type AEAD struct {
+	gcm cipher.AEAD
+}
+
+// NewAEAD constructs an AES-256-GCM AEAD from key.
+func NewAEAD(key Key) (*AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("primitives: AES init: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("primitives: GCM init: %w", err)
+	}
+	return &AEAD{gcm: gcm}, nil
+}
+
+// Seal encrypts plaintext with a fresh random nonce and returns
+// nonce || ciphertext || tag. ad is optional associated data.
+func (a *AEAD) Seal(plaintext, ad []byte) ([]byte, error) {
+	nonce := make([]byte, NonceSize)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("primitives: nonce: %w", err)
+	}
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
+	copy(out, nonce)
+	return a.gcm.Seal(out, nonce, plaintext, ad), nil
+}
+
+// Open decrypts a blob produced by Seal, authenticating ad.
+func (a *AEAD) Open(blob, ad []byte) ([]byte, error) {
+	if len(blob) < NonceSize+TagSize {
+		return nil, ErrCiphertext
+	}
+	pt, err := a.gcm.Open(nil, blob[:NonceSize], blob[NonceSize:], ad)
+	if err != nil {
+		return nil, ErrAuthentication
+	}
+	return pt, nil
+}
+
+// DET is a deterministic authenticated encryption mode (SIV-style): the
+// nonce is the truncated PRF of the plaintext under a separate MAC key, so
+// equal plaintexts produce equal ciphertexts. This is the DET tactic's
+// cryptographic core (protection class 4 — equality leakage).
+type DET struct {
+	aead   *AEAD
+	macKey Key
+}
+
+// NewDET builds a deterministic cipher. encKey and macKey must be
+// independent keys (derive them from a master key with distinct labels).
+func NewDET(encKey, macKey Key) (*DET, error) {
+	aead, err := NewAEAD(encKey)
+	if err != nil {
+		return nil, err
+	}
+	return &DET{aead: aead, macKey: macKey}, nil
+}
+
+// Encrypt deterministically encrypts plaintext. Equal inputs yield equal
+// outputs; distinct inputs yield distinct outputs except with negligible
+// probability.
+func (d *DET) Encrypt(plaintext []byte) []byte {
+	siv := PRF(d.macKey, plaintext)[:NonceSize]
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
+	copy(out, siv)
+	return d.aead.gcm.Seal(out, siv, plaintext, nil)
+}
+
+// Decrypt reverses Encrypt, verifying both the GCM tag and the synthetic IV.
+func (d *DET) Decrypt(blob []byte) ([]byte, error) {
+	if len(blob) < NonceSize+TagSize {
+		return nil, ErrCiphertext
+	}
+	pt, err := d.aead.gcm.Open(nil, blob[:NonceSize], blob[NonceSize:], nil)
+	if err != nil {
+		return nil, ErrAuthentication
+	}
+	want := PRF(d.macKey, pt)[:NonceSize]
+	if subtle.ConstantTimeCompare(want, blob[:NonceSize]) != 1 {
+		return nil, ErrAuthentication
+	}
+	return pt, nil
+}
+
+// RandomBytes returns n cryptographically random bytes.
+func RandomBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		return nil, fmt.Errorf("primitives: random bytes: %w", err)
+	}
+	return b, nil
+}
+
+// XOR returns a XOR b. The slices must have equal length; XOR panics
+// otherwise because mismatched pads indicate a protocol bug, not an
+// operational error.
+func XOR(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("primitives: XOR length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// Uint64Bytes encodes v as 8 big-endian bytes.
+func Uint64Bytes(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}

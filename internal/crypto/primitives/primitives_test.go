@@ -1,0 +1,367 @@
+package primitives
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func mustKey(t *testing.T) Key {
+	t.Helper()
+	k, err := NewRandomKey()
+	if err != nil {
+		t.Fatalf("NewRandomKey: %v", err)
+	}
+	return k
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      []byte
+		wantErr bool
+	}{
+		{"exact", make([]byte, KeySize), false},
+		{"short", make([]byte, KeySize-1), true},
+		{"long", make([]byte, KeySize+1), true},
+		{"empty", nil, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := KeyFromBytes(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("KeyFromBytes(%d bytes) err=%v, wantErr=%v", len(tt.in), err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestKeyZero(t *testing.T) {
+	k := mustKey(t)
+	k.Zero()
+	for i, b := range k {
+		if b != 0 {
+			t.Fatalf("byte %d not zeroed: %x", i, b)
+		}
+	}
+}
+
+func TestPRFMatchesHMAC(t *testing.T) {
+	k := mustKey(t)
+	data := []byte("hello world")
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(data)
+	want := mac.Sum(nil)
+	got := PRF(k, data)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PRF != HMAC-SHA256: got %x want %x", got, want)
+	}
+}
+
+func TestPRFConcatenation(t *testing.T) {
+	// PRF over multiple slices must equal PRF over their concatenation.
+	k := mustKey(t)
+	a, b := []byte("foo"), []byte("bar")
+	if !bytes.Equal(PRF(k, a, b), PRF(k, []byte("foobar"))) {
+		t.Fatal("PRF(a,b) != PRF(a||b)")
+	}
+}
+
+func TestPRFKeyDeterministic(t *testing.T) {
+	k := mustKey(t)
+	k1 := PRFKey(k, []byte("label"))
+	k2 := PRFKey(k, []byte("label"))
+	if k1 != k2 {
+		t.Fatal("PRFKey not deterministic")
+	}
+	k3 := PRFKey(k, []byte("other"))
+	if k1 == k3 {
+		t.Fatal("PRFKey collision across labels")
+	}
+}
+
+func TestHKDFProperties(t *testing.T) {
+	ikm := []byte("input keying material")
+	out1, err := HKDF(ikm, []byte("salt"), []byte("info"), 64)
+	if err != nil {
+		t.Fatalf("HKDF: %v", err)
+	}
+	if len(out1) != 64 {
+		t.Fatalf("HKDF length = %d, want 64", len(out1))
+	}
+	out2, err := HKDF(ikm, []byte("salt"), []byte("info"), 64)
+	if err != nil {
+		t.Fatalf("HKDF: %v", err)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatal("HKDF not deterministic")
+	}
+	out3, err := HKDF(ikm, []byte("salt"), []byte("other info"), 64)
+	if err != nil {
+		t.Fatalf("HKDF: %v", err)
+	}
+	if bytes.Equal(out1, out3) {
+		t.Fatal("HKDF ignored info parameter")
+	}
+	// Prefix property: a shorter read is a prefix of a longer one.
+	short, err := HKDF(ikm, []byte("salt"), []byte("info"), 16)
+	if err != nil {
+		t.Fatalf("HKDF: %v", err)
+	}
+	if !bytes.Equal(short, out1[:16]) {
+		t.Fatal("HKDF output not prefix-consistent")
+	}
+}
+
+func TestHKDFInvalidLength(t *testing.T) {
+	if _, err := HKDF([]byte("x"), nil, nil, 0); err == nil {
+		t.Fatal("HKDF accepted zero length")
+	}
+	if _, err := HKDF([]byte("x"), nil, nil, 255*sha256.Size+1); err == nil {
+		t.Fatal("HKDF accepted oversized length")
+	}
+}
+
+func TestDeriveKeySeparation(t *testing.T) {
+	master := mustKey(t)
+	a, err := DeriveKey(master, "tactic/det/enc")
+	if err != nil {
+		t.Fatalf("DeriveKey: %v", err)
+	}
+	b, err := DeriveKey(master, "tactic/det/mac")
+	if err != nil {
+		t.Fatalf("DeriveKey: %v", err)
+	}
+	if a == b {
+		t.Fatal("distinct labels produced identical keys")
+	}
+	a2, err := DeriveKey(master, "tactic/det/enc")
+	if err != nil {
+		t.Fatalf("DeriveKey: %v", err)
+	}
+	if a != a2 {
+		t.Fatal("DeriveKey not deterministic")
+	}
+}
+
+func TestAEADRoundTrip(t *testing.T) {
+	aead, err := NewAEAD(mustKey(t))
+	if err != nil {
+		t.Fatalf("NewAEAD: %v", err)
+	}
+	tests := []struct {
+		name string
+		pt   []byte
+		ad   []byte
+	}{
+		{"empty", nil, nil},
+		{"short", []byte("x"), nil},
+		{"with ad", []byte("patient record"), []byte("doc-42")},
+		{"binary", []byte{0, 1, 2, 255, 254}, []byte{9}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ct, err := aead.Seal(tt.pt, tt.ad)
+			if err != nil {
+				t.Fatalf("Seal: %v", err)
+			}
+			got, err := aead.Open(ct, tt.ad)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if !bytes.Equal(got, tt.pt) {
+				t.Fatalf("round trip: got %q want %q", got, tt.pt)
+			}
+		})
+	}
+}
+
+func TestAEADProbabilistic(t *testing.T) {
+	aead, err := NewAEAD(mustKey(t))
+	if err != nil {
+		t.Fatalf("NewAEAD: %v", err)
+	}
+	c1, _ := aead.Seal([]byte("same"), nil)
+	c2, _ := aead.Seal([]byte("same"), nil)
+	if bytes.Equal(c1, c2) {
+		t.Fatal("AEAD produced identical ciphertexts for equal plaintexts")
+	}
+}
+
+func TestAEADTamperDetection(t *testing.T) {
+	aead, err := NewAEAD(mustKey(t))
+	if err != nil {
+		t.Fatalf("NewAEAD: %v", err)
+	}
+	ct, _ := aead.Seal([]byte("sensitive"), []byte("ad"))
+	for i := 0; i < len(ct); i += 7 {
+		mut := append([]byte(nil), ct...)
+		mut[i] ^= 0x01
+		if _, err := aead.Open(mut, []byte("ad")); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	if _, err := aead.Open(ct, []byte("wrong ad")); err == nil {
+		t.Fatal("wrong associated data accepted")
+	}
+	if _, err := aead.Open(ct[:NonceSize+TagSize-1], nil); err == nil {
+		t.Fatal("truncated ciphertext accepted")
+	}
+}
+
+func TestDETDeterminism(t *testing.T) {
+	enc, mac := mustKey(t), mustKey(t)
+	det, err := NewDET(enc, mac)
+	if err != nil {
+		t.Fatalf("NewDET: %v", err)
+	}
+	c1 := det.Encrypt([]byte("glucose"))
+	c2 := det.Encrypt([]byte("glucose"))
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("DET not deterministic")
+	}
+	c3 := det.Encrypt([]byte("insulin"))
+	if bytes.Equal(c1, c3) {
+		t.Fatal("DET collision across plaintexts")
+	}
+	pt, err := det.Decrypt(c1)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if string(pt) != "glucose" {
+		t.Fatalf("round trip: got %q", pt)
+	}
+}
+
+func TestDETTamper(t *testing.T) {
+	det, err := NewDET(mustKey(t), mustKey(t))
+	if err != nil {
+		t.Fatalf("NewDET: %v", err)
+	}
+	ct := det.Encrypt([]byte("value"))
+	mut := append([]byte(nil), ct...)
+	mut[0] ^= 1
+	if _, err := det.Decrypt(mut); err == nil {
+		t.Fatal("tampered DET ciphertext accepted")
+	}
+	if _, err := det.Decrypt(ct[:4]); err == nil {
+		t.Fatal("short DET ciphertext accepted")
+	}
+}
+
+func TestDETQuickRoundTrip(t *testing.T) {
+	det, err := NewDET(mustKey(t), mustKey(t))
+	if err != nil {
+		t.Fatalf("NewDET: %v", err)
+	}
+	f := func(pt []byte) bool {
+		got, err := det.Decrypt(det.Encrypt(pt))
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAEADQuickRoundTrip(t *testing.T) {
+	aead, err := NewAEAD(mustKey(t))
+	if err != nil {
+		t.Fatalf("NewAEAD: %v", err)
+	}
+	f := func(pt, ad []byte) bool {
+		ct, err := aead.Seal(pt, ad)
+		if err != nil {
+			return false
+		}
+		got, err := aead.Open(ct, ad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXOR(t *testing.T) {
+	a := []byte{0xFF, 0x00, 0xAA}
+	b := []byte{0x0F, 0xF0, 0x55}
+	got := XOR(a, b)
+	want := []byte{0xF0, 0xF0, 0xFF}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("XOR = %x, want %x", got, want)
+	}
+	// Involution: a ^ b ^ b == a.
+	if !bytes.Equal(XOR(got, b), a) {
+		t.Fatal("XOR not an involution")
+	}
+}
+
+func TestXORPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XOR did not panic on length mismatch")
+		}
+	}()
+	XOR([]byte{1}, []byte{1, 2})
+}
+
+func TestRandomBytes(t *testing.T) {
+	a, err := RandomBytes(32)
+	if err != nil {
+		t.Fatalf("RandomBytes: %v", err)
+	}
+	b, err := RandomBytes(32)
+	if err != nil {
+		t.Fatalf("RandomBytes: %v", err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("RandomBytes returned identical outputs")
+	}
+	if len(a) != 32 {
+		t.Fatalf("len = %d, want 32", len(a))
+	}
+}
+
+func TestUint64Bytes(t *testing.T) {
+	b := Uint64Bytes(0x0102030405060708)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("Uint64Bytes = %x", b)
+	}
+}
+
+func BenchmarkAEADSeal(b *testing.B) {
+	k, _ := NewRandomKey()
+	aead, _ := NewAEAD(k)
+	pt := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aead.Seal(pt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDETEncrypt(b *testing.B) {
+	k1, _ := NewRandomKey()
+	k2, _ := NewRandomKey()
+	det, _ := NewDET(k1, k2)
+	pt := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Encrypt(pt)
+	}
+}
+
+func BenchmarkPRF(b *testing.B) {
+	k, _ := NewRandomKey()
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PRF(k, data)
+	}
+}

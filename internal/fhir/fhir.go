@@ -1,0 +1,172 @@
+// Package fhir models the paper's §5.1 validation case: FHIR-compliant
+// medical Observation documents (measurements and assertions about
+// patients, e.g. the amount of glucose observed in a blood test), plus a
+// deterministic synthetic generator used by the examples and the
+// evaluation harness.
+//
+// The original evaluation used FHIR-compliant medical data from the
+// industrial partners; this generator substitutes a synthetic population
+// with the same document shape and realistic value distributions.
+package fhir
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datablinder/internal/model"
+)
+
+// Observation field vocabulary.
+var (
+	// Statuses follows the FHIR ObservationStatus value set.
+	Statuses = []string{"final", "preliminary", "amended", "draft", "registered"}
+	// Codes are common LOINC-style observation codes.
+	Codes = []string{"glucose", "cholesterol", "heart-rate", "bmi", "hemoglobin", "blood-pressure", "creatinine", "sodium"}
+	// Interpretations are FHIR interpretation codes.
+	Interpretations = []string{"normal", "high", "low", "critical"}
+)
+
+// valueRange gives each code a plausible measurement range.
+var valueRanges = map[string][2]float64{
+	"glucose":        {3.5, 12.0},
+	"cholesterol":    {2.0, 8.5},
+	"heart-rate":     {45, 180},
+	"bmi":            {15, 45},
+	"hemoglobin":     {7, 19},
+	"blood-pressure": {85, 200},
+	"creatinine":     {0.4, 3.0},
+	"sodium":         {125, 150},
+}
+
+// baseEffective is 2013-02-04T09:30:10Z, the example document's timestamp.
+const baseEffective = 1359966610
+
+// ObservationSchema returns the §5.1 Observation schema with the paper's
+// exact annotations. Adaptive selection reproduces the paper's tactic
+// table from these annotations alone: status/code/value → BIEX-2Lev,
+// subject → Mitra, effective/issued → DET+OPE, performer → RND,
+// value additionally → Paillier.
+func ObservationSchema() *model.Schema {
+	must := func(s string) model.Annotation {
+		a, err := model.ParseAnnotation(s)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	return &model.Schema{
+		Name: "observation",
+		Fields: []model.Field{
+			{Name: "identifier", Type: model.TypeString},
+			{Name: "status", Type: model.TypeString, Sensitive: true, Annotation: must("C3, op [I, EQ, BL]")},
+			{Name: "code", Type: model.TypeString, Sensitive: true, Annotation: must("C3, op [I, EQ, BL]")},
+			{Name: "subject", Type: model.TypeString, Sensitive: true, Annotation: must("C2, op [I, EQ]")},
+			{Name: "effective", Type: model.TypeInt, Sensitive: true, Annotation: must("C5, op [I, EQ, BL, RG], tactic [DET, OPE, BIEX-2Lev]")},
+			{Name: "issued", Type: model.TypeInt, Sensitive: true, Annotation: must("C5, op [I, EQ, BL, RG], tactic [DET, OPE, BIEX-2Lev]")},
+			{Name: "performer", Type: model.TypeString, Sensitive: true, Annotation: must("C1, op [I]")},
+			{Name: "value", Type: model.TypeFloat, Sensitive: true, Annotation: must("C3, op [I, EQ, BL], agg [avg, sum]")},
+			{Name: "interpretation", Type: model.TypeString, Sensitive: true, Annotation: must("C3, op [I, EQ, BL]")},
+		},
+	}
+}
+
+// BenchmarkSchema returns the schema variant used by the §5.2 performance
+// evaluation: "8 tactics ... namely Mitra, RND, Paillier, and five times
+// DET" — the five DET instances protect status, code, effective, issued
+// and value; Mitra protects subject; RND protects performer; Paillier
+// aggregates value.
+func BenchmarkSchema() *model.Schema {
+	must := func(s string) model.Annotation {
+		a, err := model.ParseAnnotation(s)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	return &model.Schema{
+		Name: "observation",
+		Fields: []model.Field{
+			{Name: "identifier", Type: model.TypeString},
+			{Name: "status", Type: model.TypeString, Sensitive: true, Annotation: must("C4, op [I, EQ], tactic [DET]")},
+			{Name: "code", Type: model.TypeString, Sensitive: true, Annotation: must("C4, op [I, EQ], tactic [DET]")},
+			{Name: "subject", Type: model.TypeString, Sensitive: true, Annotation: must("C2, op [I, EQ], tactic [Mitra]")},
+			{Name: "effective", Type: model.TypeInt, Sensitive: true, Annotation: must("C4, op [I, EQ], tactic [DET]")},
+			{Name: "issued", Type: model.TypeInt, Sensitive: true, Annotation: must("C4, op [I, EQ], tactic [DET]")},
+			{Name: "performer", Type: model.TypeString, Sensitive: true, Annotation: must("C1, op [I], tactic [RND]")},
+			{Name: "value", Type: model.TypeFloat, Sensitive: true, Annotation: must("C4, op [I, EQ], agg [avg, sum], tactic [DET, Paillier]")},
+		},
+	}
+}
+
+// Generator produces a deterministic synthetic Observation population.
+// It is not safe for concurrent use; give each goroutine its own
+// generator (With different seeds) or serialize access.
+type Generator struct {
+	rng      *rand.Rand
+	patients []string
+	doctors  []string
+	next     int
+}
+
+// NewGenerator builds a generator over a synthetic population. seed fixes
+// the sequence; patients/doctors size the population (0 picks defaults).
+func NewGenerator(seed int64, patients, doctors int) *Generator {
+	if patients <= 0 {
+		patients = 200
+	}
+	if doctors <= 0 {
+		doctors = 25
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < patients; i++ {
+		g.patients = append(g.patients, fmt.Sprintf("patient-%04d", i))
+	}
+	for i := 0; i < doctors; i++ {
+		g.doctors = append(g.doctors, fmt.Sprintf("dr-%03d", i))
+	}
+	return g
+}
+
+// Patients returns the patient identifier pool.
+func (g *Generator) Patients() []string { return g.patients }
+
+// Observation generates the next synthetic observation document.
+func (g *Generator) Observation() *model.Document {
+	g.next++
+	code := Codes[g.rng.Intn(len(Codes))]
+	vr := valueRanges[code]
+	effective := int64(baseEffective + g.rng.Intn(3*365*24*3600))
+	value := vr[0] + g.rng.Float64()*(vr[1]-vr[0])
+	return &model.Document{
+		ID: fmt.Sprintf("obs-%08d", g.next),
+		Fields: map[string]any{
+			"identifier": fmt.Sprintf("%06d", 6000+g.next),
+			"status":     Statuses[g.rng.Intn(len(Statuses))],
+			"code":       code,
+			"subject":    g.patients[g.rng.Intn(len(g.patients))],
+			"effective":  effective,
+			"issued":     effective + int64(g.rng.Intn(30*24*3600)),
+			"performer":  g.doctors[g.rng.Intn(len(g.doctors))],
+			"value":      float64(int(value*100)) / 100,
+		},
+	}
+}
+
+// PaperExample returns the exact glucose observation from §5.1 of the
+// paper (document f001).
+func PaperExample() *model.Document {
+	return &model.Document{
+		ID: "f001",
+		Fields: map[string]any{
+			"identifier":     "6323",
+			"status":         "final",
+			"code":           "glucose",
+			"subject":        "John Doe",
+			"effective":      int64(1359966610),
+			"issued":         int64(1362407410),
+			"performer":      "John Smith",
+			"value":          6.3,
+			"interpretation": "High",
+		},
+	}
+}

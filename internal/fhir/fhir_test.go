@@ -1,0 +1,132 @@
+package fhir
+
+import (
+	"testing"
+
+	"datablinder/internal/model"
+)
+
+func TestObservationSchemaValid(t *testing.T) {
+	if err := ObservationSchema().Validate(); err != nil {
+		t.Fatalf("ObservationSchema invalid: %v", err)
+	}
+	if err := BenchmarkSchema().Validate(); err != nil {
+		t.Fatalf("BenchmarkSchema invalid: %v", err)
+	}
+}
+
+func TestPaperExampleValidatesAgainstSchema(t *testing.T) {
+	doc := PaperExample()
+	if err := doc.ValidateAgainst(ObservationSchema()); err != nil {
+		t.Fatalf("paper example rejected: %v", err)
+	}
+	if doc.ID != "f001" || doc.Fields["value"] != 6.3 {
+		t.Fatalf("paper example fields = %+v", doc.Fields)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(42, 0, 0)
+	g2 := NewGenerator(42, 0, 0)
+	for i := 0; i < 20; i++ {
+		d1, d2 := g1.Observation(), g2.Observation()
+		if d1.ID != d2.ID {
+			t.Fatalf("ids diverge: %s vs %s", d1.ID, d2.ID)
+		}
+		for k, v := range d1.Fields {
+			if d2.Fields[k] != v {
+				t.Fatalf("field %s diverges: %v vs %v", k, v, d2.Fields[k])
+			}
+		}
+	}
+	g3 := NewGenerator(43, 0, 0)
+	g3.Observation()
+	if NewGenerator(42, 0, 0).Observation().Fields["subject"] == g3.Observation().Fields["subject"] &&
+		NewGenerator(42, 0, 0).Observation().Fields["value"] == g3.Observation().Fields["value"] {
+		t.Log("seeds 42/43 coincidentally agree on one doc; acceptable")
+	}
+}
+
+func TestGeneratedDocumentsValidate(t *testing.T) {
+	g := NewGenerator(7, 50, 10)
+	schema := ObservationSchema()
+	bench := BenchmarkSchema()
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		d := g.Observation()
+		if seen[d.ID] {
+			t.Fatalf("duplicate id %s", d.ID)
+		}
+		seen[d.ID] = true
+		if err := d.ValidateAgainst(schema); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		// Bench schema has no interpretation field; drop it before check.
+		delete(d.Fields, "interpretation")
+		if err := d.ValidateAgainst(bench); err != nil {
+			t.Fatalf("doc %d invalid against bench schema: %v", i, err)
+		}
+		code := d.Fields["code"].(string)
+		vr, ok := valueRanges[code]
+		if !ok {
+			t.Fatalf("unknown code %q", code)
+		}
+		v := d.Fields["value"].(float64)
+		if v < vr[0]-0.01 || v > vr[1]+0.01 {
+			t.Fatalf("value %g outside range for %s", v, code)
+		}
+		eff := d.Fields["effective"].(int64)
+		iss := d.Fields["issued"].(int64)
+		if iss < eff {
+			t.Fatalf("issued %d before effective %d", iss, eff)
+		}
+	}
+}
+
+func TestGeneratorPopulationSizes(t *testing.T) {
+	g := NewGenerator(1, 5, 2)
+	if len(g.Patients()) != 5 {
+		t.Fatalf("patients = %d", len(g.Patients()))
+	}
+	subjects := map[any]bool{}
+	performers := map[any]bool{}
+	for i := 0; i < 200; i++ {
+		d := g.Observation()
+		subjects[d.Fields["subject"]] = true
+		performers[d.Fields["performer"]] = true
+	}
+	if len(subjects) > 5 {
+		t.Fatalf("more subjects than patients: %d", len(subjects))
+	}
+	if len(performers) > 2 {
+		t.Fatalf("more performers than doctors: %d", len(performers))
+	}
+}
+
+func TestSchemaFieldAnnotationsMatchPaper(t *testing.T) {
+	s := ObservationSchema()
+	cases := map[string]model.Class{
+		"status": model.Class3, "code": model.Class3, "subject": model.Class2,
+		"effective": model.Class5, "issued": model.Class5,
+		"performer": model.Class1, "value": model.Class3,
+	}
+	for name, class := range cases {
+		f, ok := s.Field(name)
+		if !ok {
+			t.Fatalf("field %s missing", name)
+		}
+		if f.Annotation.Class != class {
+			t.Errorf("%s class = %v, want %v", name, f.Annotation.Class, class)
+		}
+	}
+	// value requests avg per the paper's table.
+	f, _ := s.Field("value")
+	if !f.Annotation.HasAgg(model.AggAvg) {
+		t.Error("value lacks avg aggregate")
+	}
+	// performer is insert-only.
+	f, _ = s.Field("performer")
+	if len(f.Annotation.Ops) != 1 || f.Annotation.Ops[0] != model.OpInsert {
+		t.Errorf("performer ops = %v", f.Annotation.Ops)
+	}
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedPointScale is the scaling factor used when aggregating float fields
+// homomorphically: floats become int64 micro-units (6 decimal digits of
+// precision survive Paillier round trips).
+const FixedPointScale = 1_000_000
+
+// OrderedUint64 maps a numeric field value to a uint64 whose unsigned
+// order matches the numeric order of the values, across int64 and float64
+// inputs of the SAME field type (callers must not mix types within one
+// field, which schema validation guarantees).
+//
+// Integers use the offset-by-2^63 embedding. Floats use the standard
+// IEEE-754 total-order trick: flip all bits of negatives, flip only the
+// sign bit of non-negatives.
+func OrderedUint64(v any, t FieldType) (uint64, error) {
+	switch t {
+	case TypeInt:
+		i, _, err := NormalizeNumeric(v, t)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(i) ^ (1 << 63), nil
+	case TypeFloat:
+		_, f, err := NormalizeNumeric(v, t)
+		if err != nil {
+			return 0, err
+		}
+		if math.IsNaN(f) {
+			return 0, fmt.Errorf("model: NaN is not orderable")
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			return ^bits, nil
+		}
+		return bits | (1 << 63), nil
+	default:
+		return 0, fmt.Errorf("model: field type %q is not orderable", string(t))
+	}
+}
+
+// ToFixedPoint converts a numeric field value to int64 micro-units for
+// homomorphic aggregation.
+func ToFixedPoint(v any, t FieldType) (int64, error) {
+	_, f, err := NormalizeNumeric(v, t)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("model: %v is not aggregatable", f)
+	}
+	scaled := f * FixedPointScale
+	if scaled > math.MaxInt64 || scaled < math.MinInt64 {
+		return 0, fmt.Errorf("model: %v overflows fixed-point range", f)
+	}
+	return int64(math.Round(scaled)), nil
+}
+
+// FromFixedPoint converts an aggregated fixed-point value back to float64.
+func FromFixedPoint(v int64) float64 {
+	return float64(v) / FixedPointScale
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderedUint64Int(t *testing.T) {
+	values := []int64{math.MinInt64, -100, -1, 0, 1, 100, math.MaxInt64}
+	var prev uint64
+	for i, v := range values {
+		u, err := OrderedUint64(v, TypeInt)
+		if err != nil {
+			t.Fatalf("OrderedUint64(%d): %v", v, err)
+		}
+		if i > 0 && u <= prev {
+			t.Fatalf("order violated at %d", v)
+		}
+		prev = u
+	}
+}
+
+func TestOrderedUint64Float(t *testing.T) {
+	values := []float64{math.Inf(-1), -1e300, -6.3, -0.0001, 0, 0.0001, 6.3, 1e300, math.Inf(1)}
+	var prev uint64
+	for i, v := range values {
+		u, err := OrderedUint64(v, TypeFloat)
+		if err != nil {
+			t.Fatalf("OrderedUint64(%g): %v", v, err)
+		}
+		if i > 0 && u <= prev {
+			t.Fatalf("order violated at %g", v)
+		}
+		prev = u
+	}
+}
+
+func TestOrderedUint64NegativeZero(t *testing.T) {
+	nz, err := OrderedUint64(math.Copysign(0, -1), TypeFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz, err := OrderedUint64(0.0, TypeFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nz > pz {
+		t.Fatal("-0.0 ordered above +0.0")
+	}
+}
+
+func TestOrderedUint64Errors(t *testing.T) {
+	if _, err := OrderedUint64(math.NaN(), TypeFloat); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := OrderedUint64("x", TypeInt); err == nil {
+		t.Fatal("string accepted")
+	}
+	if _, err := OrderedUint64(1, TypeString); err == nil {
+		t.Fatal("non-numeric type accepted")
+	}
+}
+
+func TestOrderedUint64QuickInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		ua, err1 := OrderedUint64(a, TypeInt)
+		ub, err2 := OrderedUint64(b, TypeInt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (a < b) == (ua < ub)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedUint64QuickFloat(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ua, err1 := OrderedUint64(a, TypeFloat)
+		ub, err2 := OrderedUint64(b, TypeFloat)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a == b { // covers -0.0 vs +0.0
+			return true
+		}
+		return (a < b) == (ua < ub)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedPointRoundTrip(t *testing.T) {
+	tests := []float64{0, 6.3, -6.3, 123.456789, -0.000001}
+	for _, v := range tests {
+		fp, err := ToFixedPoint(v, TypeFloat)
+		if err != nil {
+			t.Fatalf("ToFixedPoint(%g): %v", v, err)
+		}
+		got := FromFixedPoint(fp)
+		if math.Abs(got-v) > 1e-6 {
+			t.Fatalf("round trip %g -> %g", v, got)
+		}
+	}
+	fp, err := ToFixedPoint(int64(42), TypeInt)
+	if err != nil || fp != 42*FixedPointScale {
+		t.Fatalf("ToFixedPoint(int 42) = %d, %v", fp, err)
+	}
+}
+
+func TestFixedPointErrors(t *testing.T) {
+	if _, err := ToFixedPoint(math.NaN(), TypeFloat); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := ToFixedPoint(math.Inf(1), TypeFloat); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if _, err := ToFixedPoint(1e300, TypeFloat); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	if _, err := ToFixedPoint("x", TypeFloat); err == nil {
+		t.Fatal("string accepted")
+	}
+}

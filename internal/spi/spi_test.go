@@ -1,0 +1,284 @@
+package spi_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/tactics"
+)
+
+func registry(t *testing.T) *spi.Registry {
+	t.Helper()
+	r, err := tactics.Registry()
+	if err != nil {
+		t.Fatalf("Registry: %v", err)
+	}
+	return r
+}
+
+func field(name string, ft model.FieldType, ann string) model.Field {
+	a, err := model.ParseAnnotation(ann)
+	if err != nil {
+		panic(err)
+	}
+	return model.Field{Name: name, Type: ft, Sensitive: true, Annotation: a}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := registry(t)
+	want := []string{"BIEX-2Lev", "BIEX-ZMF", "DET", "Mitra", "OPE", "ORE", "Paillier", "RND", "Sophos"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	reg := spi.Registration{
+		Descriptor: spi.Descriptor{Name: "X"},
+		Factory:    func(spi.Binding) (spi.Tactic, error) { return nil, nil },
+	}
+	if _, err := spi.NewRegistry(reg, reg); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := spi.NewRegistry(spi.Registration{Descriptor: spi.Descriptor{Name: "Y"}}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if _, err := spi.NewRegistry(spi.Registration{Factory: reg.Factory}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+// TestPaperSelections verifies the §5.1 tactic-selection table emerges
+// from the adaptive algorithm without pins.
+func TestPaperSelections(t *testing.T) {
+	r := registry(t)
+	tests := []struct {
+		name  string
+		field model.Field
+		op    model.Op
+		want  string
+	}{
+		// status C3, op [I, EQ, BL] -> BIEX for boolean.
+		{"status boolean", field("status", model.TypeString, "C3, op [I, EQ, BL]"), model.OpBoolean, "BIEX-2Lev"},
+		// status equality also lands on BIEX (3 <= C3, highest tolerated).
+		{"status equality", field("status", model.TypeString, "C3, op [I, EQ, BL]"), model.OpEquality, "BIEX-2Lev"},
+		// subject C2, op [I, EQ] -> Mitra (identifier protection level).
+		{"subject", field("subject", model.TypeString, "C2, op [I, EQ]"), model.OpEquality, "Mitra"},
+		// performer C1, op [I] -> RND (structure protection level).
+		{"performer", field("performer", model.TypeString, "C1, op [I]"), model.OpInsert, "RND"},
+		// effective C5 int with ranges -> OPE.
+		{"effective range", field("effective", model.TypeInt, "C5, op [I, EQ, BL, RG]"), model.OpRange, "OPE"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			plan, err := r.Select(tt.field)
+			if err != nil {
+				t.Fatalf("Select: %v", err)
+			}
+			if got := plan.ByOp[tt.op]; got != tt.want {
+				t.Fatalf("op %s -> %q, want %q (plan %+v)", string(tt.op), got, tt.want, plan)
+			}
+		})
+	}
+}
+
+func TestSelectRespectsClassCeiling(t *testing.T) {
+	r := registry(t)
+	// A C1 field requesting equality can only use RND.
+	plan, err := r.Select(field("f", model.TypeString, "C1, op [I, EQ]"))
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if plan.ByOp[model.OpEquality] != "RND" {
+		t.Fatalf("C1 equality -> %q, want RND", plan.ByOp[model.OpEquality])
+	}
+	// A C1 field requesting range queries is unsatisfiable: range tactics
+	// leak order.
+	_, err = r.Select(field("f", model.TypeInt, "C1, op [I, RG]"))
+	if !errors.Is(err, spi.ErrNoTactic) {
+		t.Fatalf("C1 range err = %v, want ErrNoTactic", err)
+	}
+	// C5 permits it.
+	if _, err := r.Select(field("f", model.TypeInt, "C5, op [I, RG]")); err != nil {
+		t.Fatalf("C5 range: %v", err)
+	}
+}
+
+func TestSelectRespectsFieldType(t *testing.T) {
+	r := registry(t)
+	// Range on a string field is rejected by schema validation before
+	// selection, but selection itself must also never pick numeric-only
+	// tactics for strings: request an aggregate on a string field.
+	f := field("f", model.TypeString, "C5, op [I]")
+	f.Annotation.Aggs = []model.Agg{model.AggSum}
+	if _, err := r.Select(f); !errors.Is(err, spi.ErrNoTactic) {
+		t.Fatalf("sum on string err = %v, want ErrNoTactic", err)
+	}
+}
+
+func TestSelectAggregates(t *testing.T) {
+	r := registry(t)
+	f := field("value", model.TypeFloat, "C3, op [I, EQ, BL], agg [avg]")
+	plan, err := r.Select(f)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if plan.ByAgg[model.AggAvg] != "Paillier" {
+		t.Fatalf("avg -> %q, want Paillier", plan.ByAgg[model.AggAvg])
+	}
+	// The paper's value field: BIEX-2Lev + Paillier.
+	joined := strings.Join(plan.Tactics, ",")
+	if !strings.Contains(joined, "BIEX-2Lev") || !strings.Contains(joined, "Paillier") {
+		t.Fatalf("value plan tactics = %v", plan.Tactics)
+	}
+}
+
+func TestCountNeedsNoAggregateTactic(t *testing.T) {
+	r := registry(t)
+	f := field("status", model.TypeString, "C3, op [I, EQ]")
+	f.Annotation.Aggs = []model.Agg{model.AggCount}
+	plan, err := r.Select(f)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if _, ok := plan.ByAgg[model.AggCount]; ok {
+		t.Fatal("count was assigned a tactic; it is pure resolution")
+	}
+}
+
+func TestSelectHonorsPins(t *testing.T) {
+	r := registry(t)
+	f := field("effective", model.TypeInt, "C5, op [I, EQ, RG], tactic [DET, OPE]")
+	plan, err := r.Select(f)
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if plan.ByOp[model.OpEquality] != "DET" {
+		t.Fatalf("pinned equality -> %q, want DET", plan.ByOp[model.OpEquality])
+	}
+	if plan.ByOp[model.OpRange] != "OPE" {
+		t.Fatalf("pinned range -> %q, want OPE", plan.ByOp[model.OpRange])
+	}
+	// Unknown pin.
+	f2 := field("f", model.TypeString, "C5, op [I], tactic [NoSuch]")
+	if _, err := r.Select(f2); !errors.Is(err, spi.ErrUnknownTactic) {
+		t.Fatalf("unknown pin err = %v", err)
+	}
+	// Pinned tactic above the ceiling is rejected.
+	f3 := field("f", model.TypeString, "C2, op [I, EQ], tactic [DET]")
+	if _, err := r.Select(f3); !errors.Is(err, spi.ErrNoTactic) {
+		t.Fatalf("over-ceiling pin err = %v", err)
+	}
+}
+
+func TestEffectiveClassWeakestLink(t *testing.T) {
+	r := registry(t)
+	f := field("effective", model.TypeInt, "C5, op [I, EQ, RG], tactic [DET, OPE]")
+	plan, err := r.Select(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DET leaks Equalities (C4) but OPE leaks Order (C5): the chain is as
+	// weak as OPE.
+	if got := r.EffectiveClass(plan); got != model.Class5 {
+		t.Fatalf("EffectiveClass = %v, want C5", got)
+	}
+
+	f2 := field("subject", model.TypeString, "C2, op [I, EQ]")
+	plan2, err := r.Select(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.EffectiveClass(plan2); got != model.Class2 {
+		t.Fatalf("EffectiveClass = %v, want C2", got)
+	}
+}
+
+// TestTable2Catalog asserts the registry reproduces the paper's Table 2
+// rows: scheme, class, leakage, and SPI interface counts.
+func TestTable2Catalog(t *testing.T) {
+	r := registry(t)
+	want := []struct {
+		name    string
+		class   model.Class
+		leakage model.Leakage
+		gateway int
+		cloud   int
+	}{
+		{"DET", model.Class4, model.LeakEqualities, 9, 6},
+		{"Mitra", model.Class2, model.LeakIdentifiers, 7, 5},
+		{"Sophos", model.Class2, model.LeakIdentifiers, 6, 4},
+		{"RND", model.Class1, model.LeakStructure, 6, 4},
+		{"BIEX-2Lev", model.Class3, model.LeakPredicates, 8, 5},
+		{"BIEX-ZMF", model.Class3, model.LeakPredicates, 8, 5},
+		{"OPE", model.Class5, model.LeakOrder, 3, 3},
+		{"ORE", model.Class5, model.LeakOrder, 3, 3},
+		{"Paillier", 0, 0, 3, 3},
+	}
+	for _, row := range want {
+		reg, err := r.Lookup(row.name)
+		if err != nil {
+			t.Errorf("Lookup(%s): %v", row.name, err)
+			continue
+		}
+		d := reg.Descriptor
+		if d.Class != row.class {
+			t.Errorf("%s class = %v, want %v", row.name, d.Class, row.class)
+		}
+		if d.Leakage != row.leakage {
+			t.Errorf("%s leakage = %v, want %v", row.name, d.Leakage, row.leakage)
+		}
+		if len(d.GatewayInterfaces) != row.gateway {
+			t.Errorf("%s gateway SPI = %d, want %d", row.name, len(d.GatewayInterfaces), row.gateway)
+		}
+		if len(d.CloudInterfaces) != row.cloud {
+			t.Errorf("%s cloud SPI = %d, want %d", row.name, len(d.CloudInterfaces), row.cloud)
+		}
+	}
+}
+
+// TestTable1SPIMap asserts the Table 1 operation-to-interface map.
+func TestTable1SPIMap(t *testing.T) {
+	m := spi.SPIMap()
+	if len(m) != 7 {
+		t.Fatalf("SPIMap has %d rows, want 7", len(m))
+	}
+	insert := m["Insert"]
+	if len(insert.Gateway) != 3 || insert.Gateway[0] != "Insertion" {
+		t.Fatalf("Insert gateway = %v", insert.Gateway)
+	}
+	agg := m["Aggregate"]
+	if len(agg.Cloud) != 1 || agg.Cloud[0] != "AggFunction" {
+		t.Fatalf("Aggregate cloud = %v", agg.Cloud)
+	}
+}
+
+func TestDescriptorHelpers(t *testing.T) {
+	r := registry(t)
+	det, _ := r.Lookup("DET")
+	if !det.Descriptor.SupportsOp(model.OpEquality) {
+		t.Fatal("DET should support EQ")
+	}
+	if det.Descriptor.SupportsOp(model.OpRange) {
+		t.Fatal("DET should not support RG")
+	}
+	p, _ := r.Lookup("Paillier")
+	if !p.Descriptor.SupportsAgg(model.AggAvg) {
+		t.Fatal("Paillier should support avg")
+	}
+	if p.Descriptor.SupportsType(model.TypeString) {
+		t.Fatal("Paillier should reject string fields")
+	}
+	if !p.Descriptor.SupportsType(model.TypeFloat) {
+		t.Fatal("Paillier should accept float fields")
+	}
+}

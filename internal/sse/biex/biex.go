@@ -1,0 +1,525 @@
+// Package biex implements boolean searchable symmetric encryption in the
+// style of the IEX construction of Kamara and Moataz (EUROCRYPT 2017),
+// in the two variants the paper integrates from Clusion:
+//
+//   - BIEX-2Lev: a *global* encrypted multimap g (keyword → ids) plus a
+//     *cross* multimap x (keyword pair → ids of documents containing both).
+//     Conjunctions resolve by intersecting server-side multimap lookups —
+//     read-efficient but storage-heavy (the paper's "storage impl.
+//     complexity" challenge).
+//   - BIEX-ZMF: the same global multimap, with the cross multimap replaced
+//     by per-keyword matryoshka (counting Bloom) filters — space-efficient
+//     with a bounded false-positive rate.
+//
+// Queries are boolean formulas in disjunctive normal form; each
+// conjunction needs at least one positive literal (the IEX anchor).
+// The leakage level is Predicates (protection class 3): the server learns
+// the shape of the query and partial intersection sizes, not the keywords.
+//
+// Deletions and updates use *versioned index ids*: every insert of a
+// document id is tagged with a fresh version (id#v). Deleting bumps the
+// version without inserting, so stale index cells resolve to superseded
+// versions and are dropped at resolution time. This layers dynamism over
+// the static IEX structures without server-side tombstones.
+package biex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/sse/emm"
+	"datablinder/internal/sse/zmf"
+	"datablinder/internal/store/kvstore"
+)
+
+// Variant selects the cross-keyword structure.
+type Variant string
+
+// Variants.
+const (
+	Variant2Lev Variant = "2lev"
+	VariantZMF  Variant = "zmf"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoPositiveLiteral = errors.New("biex: every conjunction needs at least one positive literal")
+	ErrEmptyQuery        = errors.New("biex: empty query")
+	ErrBadVariant        = errors.New("biex: unknown variant")
+)
+
+// Literal is one keyword occurrence in a conjunction.
+type Literal struct {
+	Keyword string `json:"keyword"`
+	Negated bool   `json:"negated,omitempty"`
+}
+
+// Query is a boolean formula in DNF: the union of its conjunctions.
+type Query [][]Literal
+
+// Validate checks the DNF restrictions.
+func (q Query) Validate() error {
+	if len(q) == 0 {
+		return ErrEmptyQuery
+	}
+	for _, conj := range q {
+		hasPos := false
+		for _, l := range conj {
+			if !l.Negated {
+				hasPos = true
+				break
+			}
+		}
+		if !hasPos {
+			return ErrNoPositiveLiteral
+		}
+	}
+	return nil
+}
+
+// Constraint refines an anchor's candidate set server-side: exactly one of
+// Cross (2Lev pair lookup) or Filter (ZMF membership test) is set.
+type Constraint struct {
+	Cross   *emm.SearchToken `json:"cross,omitempty"`
+	Filter  *zmf.TestToken   `json:"filter,omitempty"`
+	Negated bool             `json:"negated,omitempty"`
+}
+
+// ConjToken resolves one conjunction.
+type ConjToken struct {
+	Anchor      emm.SearchToken `json:"anchor"`
+	Constraints []Constraint    `json:"constraints,omitempty"`
+}
+
+// SearchToken resolves a full DNF query.
+type SearchToken struct {
+	Conjunctions []ConjToken `json:"conjunctions"`
+}
+
+// State persists the client's per-document versions on top of the EMM
+// counter state.
+type State interface {
+	emm.State
+	// Version returns the current version of id (0 = never inserted).
+	Version(namespace, id string) (uint64, error)
+	// SetVersion stores the current version of id.
+	SetVersion(namespace, id string, v uint64) error
+}
+
+// MemState is an in-memory State.
+type MemState struct {
+	*emm.MemState
+	mu sync.RWMutex
+	v  map[string]uint64
+}
+
+// NewMemState returns an empty MemState.
+func NewMemState() *MemState {
+	return &MemState{MemState: emm.NewMemState(), v: make(map[string]uint64)}
+}
+
+// Version implements State.
+func (s *MemState) Version(namespace, id string) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v[namespace+"\x00"+id], nil
+}
+
+// SetVersion implements State.
+func (s *MemState) SetVersion(namespace, id string, v uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v[namespace+"\x00"+id] = v
+	return nil
+}
+
+// KVState persists versions and EMM counters in the gateway kvstore.
+type KVState struct {
+	*emm.KVState
+	store *kvstore.Store
+}
+
+// NewKVState wraps store.
+func NewKVState(store *kvstore.Store) *KVState {
+	return &KVState{KVState: emm.NewKVState(store), store: store}
+}
+
+// Version implements State.
+func (s *KVState) Version(namespace, id string) (uint64, error) {
+	raw, ok, err := s.store.Get([]byte("biexver/" + namespace + "\x00" + id))
+	if err != nil || !ok {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("biex: decoding version: %w", err)
+	}
+	return v, nil
+}
+
+// SetVersion implements State.
+func (s *KVState) SetVersion(namespace, id string, v uint64) error {
+	return s.store.Set([]byte("biexver/"+namespace+"\x00"+id), []byte(strconv.FormatUint(v, 10)))
+}
+
+func versionedID(id string, v uint64) string {
+	return id + "#" + strconv.FormatUint(v, 10)
+}
+
+func splitVersioned(vid string) (id string, v uint64, ok bool) {
+	i := strings.LastIndexByte(vid, '#')
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseUint(vid[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return vid[:i], v, true
+}
+
+// pairKeyword canonicalizes a keyword pair for the cross multimap. The
+// pair is unordered: (a,b) and (b,a) share one cell list.
+func pairKeyword(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// Entries is the batch of server updates produced by one client operation.
+type Entries struct {
+	Global []emm.Entry       `json:"global,omitempty"`
+	Cross  []emm.Entry       `json:"cross,omitempty"`
+	Filter []zmf.UpdateEntry `json:"filter,omitempty"`
+}
+
+// Client is the gateway half of BIEX.
+type Client struct {
+	variant Variant
+	global  *emm.Client
+	cross   *emm.Client
+	filters *zmf.Client
+	state   State
+}
+
+// NewClient derives a BIEX client from key.
+func NewClient(key primitives.Key, state State, variant Variant) (*Client, error) {
+	if variant != Variant2Lev && variant != VariantZMF {
+		return nil, ErrBadVariant
+	}
+	return &Client{
+		variant: variant,
+		global:  emm.NewClient(primitives.PRFKey(key, []byte("biex-global")), state),
+		cross:   emm.NewClient(primitives.PRFKey(key, []byte("biex-cross")), state),
+		filters: zmf.NewClient(primitives.PRFKey(key, []byte("biex-zmf"))),
+		state:   state,
+	}, nil
+}
+
+// Variant reports the client's cross-structure variant.
+func (c *Client) Variant() Variant { return c.variant }
+
+// Insert indexes a document's keywords, assigning a fresh version. The
+// caller delivers the returned entries to Server.Insert.
+func (c *Client) Insert(namespace, id string, keywords []string) (Entries, error) {
+	v, err := c.state.Version(namespace, id)
+	if err != nil {
+		return Entries{}, err
+	}
+	v++
+	if err := c.state.SetVersion(namespace, id, v); err != nil {
+		return Entries{}, err
+	}
+	vid := versionedID(id, v)
+
+	// Deduplicate keywords; pair generation assumes distinct keywords.
+	uniq := make([]string, 0, len(keywords))
+	seen := make(map[string]bool, len(keywords))
+	for _, w := range keywords {
+		if !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	sort.Strings(uniq)
+
+	var out Entries
+	for _, w := range uniq {
+		e, err := c.global.Append(namespace, w, vid)
+		if err != nil {
+			return Entries{}, err
+		}
+		out.Global = append(out.Global, e)
+	}
+	switch c.variant {
+	case Variant2Lev:
+		for i := 0; i < len(uniq); i++ {
+			for j := i + 1; j < len(uniq); j++ {
+				e, err := c.cross.Append(namespace, pairKeyword(uniq[i], uniq[j]), vid)
+				if err != nil {
+					return Entries{}, err
+				}
+				out.Cross = append(out.Cross, e)
+			}
+		}
+	case VariantZMF:
+		for _, w := range uniq {
+			out.Filter = append(out.Filter, c.filters.Insert(namespace, w, vid))
+		}
+	}
+	return out, nil
+}
+
+// Delete supersedes every index entry of id by bumping its version. No
+// server interaction is required; stale cells become unreachable results.
+func (c *Client) Delete(namespace, id string) error {
+	v, err := c.state.Version(namespace, id)
+	if err != nil {
+		return err
+	}
+	if v == 0 {
+		return nil // never indexed
+	}
+	return c.state.SetVersion(namespace, id, v+1)
+}
+
+// Token compiles a DNF query into a search token.
+func (c *Client) Token(namespace string, q Query) (SearchToken, error) {
+	if err := q.Validate(); err != nil {
+		return SearchToken{}, err
+	}
+	var tok SearchToken
+	for _, conj := range q {
+		// Anchor: the first positive literal.
+		anchorIdx := -1
+		for i, l := range conj {
+			if !l.Negated {
+				anchorIdx = i
+				break
+			}
+		}
+		anchorKw := conj[anchorIdx].Keyword
+		anchor, err := c.global.Token(namespace, anchorKw)
+		if err != nil {
+			return SearchToken{}, err
+		}
+		ct := ConjToken{Anchor: anchor}
+		unsatisfiable := false
+		for i, l := range conj {
+			if i == anchorIdx {
+				continue
+			}
+			// Literals repeating the anchor keyword degenerate: a positive
+			// repeat is redundant; a negated repeat (w AND NOT w) makes the
+			// whole conjunction unsatisfiable. The cross multimap stores no
+			// self-pairs, so these must be resolved here.
+			if l.Keyword == anchorKw {
+				if l.Negated {
+					unsatisfiable = true
+					break
+				}
+				continue
+			}
+			var con Constraint
+			con.Negated = l.Negated
+			switch c.variant {
+			case Variant2Lev:
+				t, err := c.cross.Token(namespace, pairKeyword(conj[anchorIdx].Keyword, l.Keyword))
+				if err != nil {
+					return SearchToken{}, err
+				}
+				con.Cross = &t
+			case VariantZMF:
+				t := c.filters.Token(namespace, l.Keyword)
+				con.Filter = &t
+			}
+			ct.Constraints = append(ct.Constraints, con)
+		}
+		if unsatisfiable {
+			continue
+		}
+		tok.Conjunctions = append(tok.Conjunctions, ct)
+	}
+	return tok, nil
+}
+
+// LiveVersioned filters versioned index ids down to those carrying their
+// document's current version, preserving the versioned form. Compaction
+// uses it to decide which entries survive a repack.
+func (c *Client) LiveVersioned(namespace string, vids []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, vid := range vids {
+		id, v, ok := splitVersioned(vid)
+		if !ok || seen[vid] {
+			continue
+		}
+		cur, err := c.state.Version(namespace, id)
+		if err != nil {
+			return nil, err
+		}
+		if v == cur {
+			seen[vid] = true
+			out = append(out, vid)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RepackGlobal rebuilds keyword w's global-multimap list into 2Lev packed
+// buckets holding exactly the given live versioned ids, superseding the
+// dynamic tail cells accumulated by inserts. It returns the new bucket
+// entries and the addresses of the now-stale cells; deliver both to
+// Server.RepackGlobal. Read efficiency improves from one fetch per id to
+// one fetch per bucket.
+func (c *Client) RepackGlobal(namespace, w string, liveVids []string) (entries []emm.Entry, stale [][]byte, err error) {
+	entries, old, _, err := c.global.BuildPacked(namespace, w, liveVids)
+	if err != nil {
+		return nil, nil, err
+	}
+	return entries, c.global.StaleAddrs(namespace, w, old), nil
+}
+
+// Resolve filters the server's versioned results down to live document
+// ids: only entries carrying a document's *current* version survive.
+func (c *Client) Resolve(namespace string, vids []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, vid := range vids {
+		id, v, ok := splitVersioned(vid)
+		if !ok {
+			continue // foreign/corrupt entry; skip
+		}
+		cur, err := c.state.Version(namespace, id)
+		if err != nil {
+			return nil, err
+		}
+		if v == cur && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Server is the cloud half of BIEX.
+type Server struct {
+	global  *emm.Server
+	cross   *emm.Server
+	filters *zmf.Server
+}
+
+// NewServer builds a server over store. namespace isolates schemas.
+func NewServer(store *kvstore.Store, namespace string) *Server {
+	return &Server{
+		global:  emm.NewServer(store, "biexg/"+namespace),
+		cross:   emm.NewServer(store, "biexx/"+namespace),
+		filters: zmf.NewServer(store, "biexz/"+namespace),
+	}
+}
+
+// RepackGlobal atomically (delete-then-insert) replaces a keyword's
+// global-multimap cells with packed buckets produced by
+// Client.RepackGlobal.
+func (s *Server) RepackGlobal(stale [][]byte, entries []emm.Entry) error {
+	if err := s.global.Delete(stale); err != nil {
+		return err
+	}
+	return s.global.Insert(entries)
+}
+
+// Insert applies a client update batch.
+func (s *Server) Insert(e Entries) error {
+	if err := s.global.Insert(e.Global); err != nil {
+		return err
+	}
+	if err := s.cross.Insert(e.Cross); err != nil {
+		return err
+	}
+	return s.filters.Apply(e.Filter)
+}
+
+// Search executes the DNF token and returns versioned ids (the union of
+// the conjunction results). The gateway must Resolve them.
+func (s *Server) Search(tok SearchToken) ([]string, error) {
+	union := make(map[string]bool)
+	var order []string
+	for _, conj := range tok.Conjunctions {
+		ids, err := s.searchConj(conj)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if !union[id] {
+				union[id] = true
+				order = append(order, id)
+			}
+		}
+	}
+	sort.Strings(order)
+	return order, nil
+}
+
+func (s *Server) searchConj(conj ConjToken) ([]string, error) {
+	candidates, err := s.global.Search(conj.Anchor)
+	if err != nil {
+		return nil, err
+	}
+	for _, con := range conj.Constraints {
+		if len(candidates) == 0 {
+			return nil, nil
+		}
+		switch {
+		case con.Cross != nil:
+			pairIDs, err := s.cross.Search(*con.Cross)
+			if err != nil {
+				return nil, err
+			}
+			inPair := make(map[string]bool, len(pairIDs))
+			for _, id := range pairIDs {
+				inPair[id] = true
+			}
+			candidates = filterIDs(candidates, func(id string) bool {
+				return inPair[id] != con.Negated
+			})
+		case con.Filter != nil:
+			member, err := s.filters.Test(*con.Filter, candidates)
+			if err != nil {
+				return nil, err
+			}
+			kept := candidates[:0:0]
+			for i, id := range candidates {
+				if member[i] != con.Negated {
+					kept = append(kept, id)
+				}
+			}
+			candidates = kept
+		default:
+			return nil, errors.New("biex: constraint with no structure")
+		}
+	}
+	return candidates, nil
+}
+
+func filterIDs(ids []string, keep func(string) bool) []string {
+	out := ids[:0:0]
+	for _, id := range ids {
+		if keep(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+var (
+	_ State = (*MemState)(nil)
+	_ State = (*KVState)(nil)
+)

@@ -1,0 +1,385 @@
+package biex
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/store/kvstore"
+)
+
+func setup(t testing.TB, v Variant) (*Client, *Server) {
+	t.Helper()
+	key, err := primitives.NewRandomKey()
+	if err != nil {
+		t.Fatalf("key: %v", err)
+	}
+	c, err := NewClient(key, NewMemState(), v)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return c, NewServer(kvstore.New(), "obs")
+}
+
+func insert(t testing.TB, c *Client, s *Server, id string, kws ...string) {
+	t.Helper()
+	e, err := c.Insert("obs", id, kws)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := s.Insert(e); err != nil {
+		t.Fatalf("server Insert: %v", err)
+	}
+}
+
+func run(t testing.TB, c *Client, s *Server, q Query) []string {
+	t.Helper()
+	tok, err := c.Token("obs", q)
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	vids, err := s.Search(tok)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	ids, err := c.Resolve("obs", vids)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return ids
+}
+
+func pos(w string) Literal { return Literal{Keyword: w} }
+func neg(w string) Literal { return Literal{Keyword: w, Negated: true} }
+
+// seedCorpus inserts a small medical corpus shared by many tests.
+func seedCorpus(t testing.TB, c *Client, s *Server) {
+	insert(t, c, s, "d1", "status=final", "code=glucose", "interp=high")
+	insert(t, c, s, "d2", "status=final", "code=glucose", "interp=normal")
+	insert(t, c, s, "d3", "status=draft", "code=glucose", "interp=high")
+	insert(t, c, s, "d4", "status=final", "code=insulin", "interp=high")
+}
+
+func variants(t *testing.T, f func(t *testing.T, variant Variant)) {
+	t.Helper()
+	for _, v := range []Variant{Variant2Lev, VariantZMF} {
+		t.Run(string(v), func(t *testing.T) { f(t, v) })
+	}
+}
+
+func TestSingleKeyword(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		got := run(t, c, s, Query{{pos("code=glucose")}})
+		if !reflect.DeepEqual(got, []string{"d1", "d2", "d3"}) {
+			t.Fatalf("single keyword = %v", got)
+		}
+	})
+}
+
+func TestConjunction(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		got := run(t, c, s, Query{{pos("status=final"), pos("code=glucose")}})
+		if !reflect.DeepEqual(got, []string{"d1", "d2"}) {
+			t.Fatalf("conjunction = %v", got)
+		}
+		got = run(t, c, s, Query{{pos("status=final"), pos("code=glucose"), pos("interp=high")}})
+		if !reflect.DeepEqual(got, []string{"d1"}) {
+			t.Fatalf("3-way conjunction = %v", got)
+		}
+	})
+}
+
+func TestDisjunction(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		got := run(t, c, s, Query{{pos("code=insulin")}, {pos("status=draft")}})
+		if !reflect.DeepEqual(got, []string{"d3", "d4"}) {
+			t.Fatalf("disjunction = %v", got)
+		}
+	})
+}
+
+func TestNegation(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		// final AND NOT high -> d2
+		got := run(t, c, s, Query{{pos("status=final"), neg("interp=high")}})
+		if !reflect.DeepEqual(got, []string{"d2"}) {
+			t.Fatalf("negation = %v", got)
+		}
+	})
+}
+
+func TestDNFMix(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		// (glucose AND high) OR (insulin) -> d1, d3, d4
+		got := run(t, c, s, Query{
+			{pos("code=glucose"), pos("interp=high")},
+			{pos("code=insulin")},
+		})
+		if !reflect.DeepEqual(got, []string{"d1", "d3", "d4"}) {
+			t.Fatalf("DNF = %v", got)
+		}
+	})
+}
+
+func TestEmptyResults(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		if got := run(t, c, s, Query{{pos("code=never")}}); len(got) != 0 {
+			t.Fatalf("unknown keyword = %v", got)
+		}
+		if got := run(t, c, s, Query{{pos("status=draft"), pos("code=insulin")}}); len(got) != 0 {
+			t.Fatalf("unsatisfiable conjunction = %v", got)
+		}
+	})
+}
+
+func TestDeleteHidesDocument(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		if err := c.Delete("obs", "d1"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		got := run(t, c, s, Query{{pos("code=glucose")}})
+		if !reflect.DeepEqual(got, []string{"d2", "d3"}) {
+			t.Fatalf("after delete = %v", got)
+		}
+		got = run(t, c, s, Query{{pos("status=final"), pos("interp=high")}})
+		if !reflect.DeepEqual(got, []string{"d4"}) {
+			t.Fatalf("conjunction after delete = %v", got)
+		}
+	})
+}
+
+func TestUpdateReplacesKeywords(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		seedCorpus(t, c, s)
+		// d3 transitions draft -> final: delete + reinsert with new keywords.
+		if err := c.Delete("obs", "d3"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		insert(t, c, s, "d3", "status=final", "code=glucose", "interp=high")
+
+		got := run(t, c, s, Query{{pos("status=draft")}})
+		if len(got) != 0 {
+			t.Fatalf("stale keyword still matches: %v", got)
+		}
+		got = run(t, c, s, Query{{pos("status=final"), pos("code=glucose")}})
+		if !reflect.DeepEqual(got, []string{"d1", "d2", "d3"}) {
+			t.Fatalf("after update = %v", got)
+		}
+	})
+}
+
+func TestDeleteUnknownIsNoop(t *testing.T) {
+	c, _ := setup(t, Variant2Lev)
+	if err := c.Delete("obs", "never-existed"); err != nil {
+		t.Fatalf("Delete(unknown): %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c, _ := setup(t, Variant2Lev)
+	if _, err := c.Token("obs", Query{}); err != ErrEmptyQuery {
+		t.Fatalf("empty query = %v", err)
+	}
+	if _, err := c.Token("obs", Query{{neg("a")}}); err != ErrNoPositiveLiteral {
+		t.Fatalf("all-negative conjunction = %v", err)
+	}
+}
+
+func TestBadVariant(t *testing.T) {
+	key, _ := primitives.NewRandomKey()
+	if _, err := NewClient(key, NewMemState(), Variant("bogus")); err != ErrBadVariant {
+		t.Fatalf("bad variant = %v", err)
+	}
+}
+
+func TestDuplicateKeywordsDeduplicated(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		c, s := setup(t, v)
+		insert(t, c, s, "d1", "w", "w", "w")
+		got := run(t, c, s, Query{{pos("w")}})
+		if !reflect.DeepEqual(got, []string{"d1"}) {
+			t.Fatalf("dedup = %v", got)
+		}
+	})
+}
+
+func TestVariantsAgreeQuick(t *testing.T) {
+	// Property: both variants and a plaintext reference evaluator agree on
+	// random corpora and random 2-term conjunctive/negated queries.
+	key, _ := primitives.NewRandomKey()
+	c2, err := NewClient(key, NewMemState(), Variant2Lev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cz, err := NewClient(key, NewMemState(), VariantZMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(kvstore.New(), "obs")
+	sz := NewServer(kvstore.New(), "obs")
+	ref := make(map[string]map[string]bool) // id -> keyword set
+	nextID := 0
+
+	f := func(kwMask uint8, queryA, queryB uint8, negB bool) bool {
+		// Insert a doc with 1-4 keywords drawn from a pool of 6.
+		var kws []string
+		for b := 0; b < 6; b++ {
+			if kwMask&(1<<b) != 0 {
+				kws = append(kws, fmt.Sprintf("k%d", b))
+			}
+		}
+		if len(kws) == 0 {
+			kws = []string{"k0"}
+		}
+		id := fmt.Sprintf("d%03d", nextID)
+		nextID++
+		e2, err := c2.Insert("obs", id, kws)
+		if err != nil {
+			return false
+		}
+		if err := s2.Insert(e2); err != nil {
+			return false
+		}
+		ez, err := cz.Insert("obs", id, kws)
+		if err != nil {
+			return false
+		}
+		if err := sz.Insert(ez); err != nil {
+			return false
+		}
+		ref[id] = make(map[string]bool)
+		for _, w := range kws {
+			ref[id][w] = true
+		}
+
+		wa := fmt.Sprintf("k%d", queryA%6)
+		wb := fmt.Sprintf("k%d", queryB%6)
+		q := Query{{pos(wa), {Keyword: wb, Negated: negB}}}
+
+		var want []string
+		for id, set := range ref {
+			if set[wa] && set[wb] != negB {
+				want = append(want, id)
+			}
+		}
+		sort.Strings(want)
+
+		got2 := runQuiet(c2, s2, q)
+		gotz := runQuiet(cz, sz, q)
+		return reflect.DeepEqual(got2, want) && reflect.DeepEqual(gotz, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runQuiet(c *Client, s *Server, q Query) []string {
+	tok, err := c.Token("obs", q)
+	if err != nil {
+		return nil
+	}
+	vids, err := s.Search(tok)
+	if err != nil {
+		return nil
+	}
+	ids, err := c.Resolve("obs", vids)
+	if err != nil {
+		return nil
+	}
+	return ids
+}
+
+func TestKVStateVersions(t *testing.T) {
+	st := NewKVState(kvstore.New())
+	if err := st.SetVersion("ns", "d1", 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.Version("ns", "d1")
+	if err != nil || v != 3 {
+		t.Fatalf("Version = %d, %v", v, err)
+	}
+	if v, _ := st.Version("ns", "absent"); v != 0 {
+		t.Fatalf("Version(absent) = %d", v)
+	}
+}
+
+func BenchmarkInsert2Lev5Keywords(b *testing.B) {
+	c, s := setup(b, Variant2Lev)
+	kws := []string{"a", "b", "c", "d", "e"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := c.Insert("obs", fmt.Sprintf("d%d", i), kws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertZMF5Keywords(b *testing.B) {
+	c, s := setup(b, VariantZMF)
+	kws := []string{"a", "b", "c", "d", "e"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := c.Insert("obs", fmt.Sprintf("d%d", i), kws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchConjunction(b *testing.B, v Variant) {
+	c, s := setup(b, v)
+	for i := 0; i < 500; i++ {
+		kws := []string{"common"}
+		if i%10 == 0 {
+			kws = append(kws, "rare")
+		}
+		e, _ := c.Insert("obs", fmt.Sprintf("d%d", i), kws)
+		s.Insert(e)
+	}
+	q := Query{{pos("common"), pos("rare")}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok, err := c.Token("obs", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vids, err := s.Search(tok)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Resolve("obs", vids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConjunction2Lev(b *testing.B) { benchConjunction(b, Variant2Lev) }
+func BenchmarkConjunctionZMF(b *testing.B)  { benchConjunction(b, VariantZMF) }

@@ -1,0 +1,318 @@
+// Package mitra implements the Mitra dynamic symmetric searchable
+// encryption scheme of Chamani, Papadopoulos, Papamanthou and Jalili
+// (CCS 2018): forward AND backward private, with all decryption performed
+// at the client (the cloud only ever sees pseudo-random addresses and
+// pads), which is why its protection class in the paper's Table 2 is 2
+// (Identifiers leakage) and its listed challenge is "Local storage" — the
+// client keeps a counter per keyword.
+//
+// Protocol sketch:
+//
+//	Update(w, id, op): c := ctr[w]++ ;
+//	    addr = PRF(K_w, c || 0) ; val = (op||id) XOR PRF(K_w, c || 1)
+//	Search(w): client sends all addresses addr_1..addr_c; the server
+//	    returns the stored values; the client decrypts and cancels
+//	    deletions against additions.
+package mitra
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/store/kvstore"
+)
+
+// Op marks an update as addition or deletion.
+type Op byte
+
+// Update operations.
+const (
+	OpAdd Op = 1
+	OpDel Op = 2
+)
+
+// idSlot is the fixed plaintext width of an encrypted (op, id) cell:
+// 1 op byte + 1 length byte + up to MaxIDLen id bytes.
+const (
+	// MaxIDLen is the longest supported document identifier.
+	MaxIDLen = 62
+	idSlot   = 2 + MaxIDLen
+)
+
+// Errors returned by this package.
+var (
+	ErrIDTooLong = errors.New("mitra: document id exceeds 62 bytes")
+	ErrBadCell   = errors.New("mitra: malformed server cell")
+)
+
+// State persists the client's per-keyword counter. Implementations must
+// be safe for concurrent use; Next must be atomic so concurrent updates
+// to the same keyword never reuse a cell index.
+type State interface {
+	// Counter returns the number of updates issued for w (0 if none).
+	Counter(namespace, w string) (uint64, error)
+	// Next atomically reserves and returns the next update index for w
+	// (0 for the first update).
+	Next(namespace, w string) (uint64, error)
+	// SetCounter stores the update count for w (used by restores/tests).
+	SetCounter(namespace, w string, c uint64) error
+}
+
+// MemState is an in-memory State.
+type MemState struct {
+	mu sync.RWMutex
+	m  map[string]uint64
+}
+
+// NewMemState returns an empty MemState.
+func NewMemState() *MemState { return &MemState{m: make(map[string]uint64)} }
+
+// Counter implements State.
+func (s *MemState) Counter(namespace, w string) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[namespace+"\x00"+w], nil
+}
+
+// Next implements State.
+func (s *MemState) Next(namespace, w string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := namespace + "\x00" + w
+	c := s.m[k]
+	s.m[k] = c + 1
+	return c, nil
+}
+
+// SetCounter implements State.
+func (s *MemState) SetCounter(namespace, w string, c uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[namespace+"\x00"+w] = c
+	return nil
+}
+
+// KVState persists counters in the gateway kvstore.
+type KVState struct {
+	store *kvstore.Store
+}
+
+// NewKVState wraps store.
+func NewKVState(store *kvstore.Store) *KVState { return &KVState{store: store} }
+
+func (s *KVState) key(namespace, w string) []byte {
+	return []byte("mitractr/" + namespace + "\x00" + w)
+}
+
+// Counter implements State.
+func (s *KVState) Counter(namespace, w string) (uint64, error) {
+	c, err := s.store.Counter(s.key(namespace, w))
+	return uint64(c), err
+}
+
+// Next implements State atomically via the store's counter primitive.
+func (s *KVState) Next(namespace, w string) (uint64, error) {
+	c, err := s.store.Incr(s.key(namespace, w), 1)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(c - 1), nil
+}
+
+// SetCounter implements State.
+func (s *KVState) SetCounter(namespace, w string, c uint64) error {
+	cur, err := s.store.Counter(s.key(namespace, w))
+	if err != nil {
+		return err
+	}
+	_, err = s.store.Incr(s.key(namespace, w), int64(c)-cur)
+	return err
+}
+
+// Entry is one encrypted update cell.
+type Entry struct {
+	Addr []byte `json:"addr"`
+	Val  []byte `json:"val"`
+}
+
+// SearchRequest carries the addresses of every update cell for the queried
+// keyword. The server learns only which cells are touched (access pattern).
+type SearchRequest struct {
+	Addrs [][]byte `json:"addrs"`
+}
+
+// Client is the gateway half of Mitra.
+type Client struct {
+	key   primitives.Key
+	state State
+}
+
+// NewClient derives the client from key; state persists keyword counters.
+func NewClient(key primitives.Key, state State) *Client {
+	return &Client{key: primitives.PRFKey(key, []byte("mitra")), state: state}
+}
+
+func (c *Client) keywordKey(namespace, w string) primitives.Key {
+	return primitives.PRFKey(c.key, []byte(namespace), []byte{0}, []byte(w))
+}
+
+func addrOf(kw primitives.Key, i uint64) []byte {
+	return primitives.PRF(kw, primitives.Uint64Bytes(i), []byte{0})
+}
+
+// pad derives the idSlot-byte encryption pad for update i.
+func pad(kw primitives.Key, i uint64) []byte {
+	p := make([]byte, 0, idSlot)
+	for blk := uint64(0); len(p) < idSlot; blk++ {
+		p = append(p, primitives.PRF(kw, primitives.Uint64Bytes(i), []byte{1}, primitives.Uint64Bytes(blk))...)
+	}
+	return p[:idSlot]
+}
+
+func encodeCell(op Op, id string) ([]byte, error) {
+	if len(id) > MaxIDLen {
+		return nil, ErrIDTooLong
+	}
+	cell := make([]byte, idSlot)
+	cell[0] = byte(op)
+	cell[1] = byte(len(id))
+	copy(cell[2:], id)
+	return cell, nil
+}
+
+func decodeCell(cell []byte) (Op, string, error) {
+	if len(cell) != idSlot {
+		return 0, "", ErrBadCell
+	}
+	op := Op(cell[0])
+	if op != OpAdd && op != OpDel {
+		return 0, "", ErrBadCell
+	}
+	n := int(cell[1])
+	if n > MaxIDLen {
+		return 0, "", ErrBadCell
+	}
+	return op, string(cell[2 : 2+n]), nil
+}
+
+// Update produces the encrypted cell for an add/delete of id under w.
+// The cell index is reserved atomically, so concurrent updates to one
+// keyword never collide.
+func (c *Client) Update(namespace, w string, op Op, id string) (Entry, error) {
+	kw := c.keywordKey(namespace, w)
+	cell, err := encodeCell(op, id)
+	if err != nil {
+		return Entry{}, err
+	}
+	ctr, err := c.state.Next(namespace, w)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Addr: addrOf(kw, ctr),
+		Val:  primitives.XOR(cell, pad(kw, ctr)),
+	}, nil
+}
+
+// SearchRequest enumerates the cell addresses for w. An empty request
+// (zero counter) means the keyword has never been updated.
+func (c *Client) SearchRequest(namespace, w string) (SearchRequest, error) {
+	ctr, err := c.state.Counter(namespace, w)
+	if err != nil {
+		return SearchRequest{}, err
+	}
+	kw := c.keywordKey(namespace, w)
+	req := SearchRequest{Addrs: make([][]byte, 0, ctr)}
+	for i := uint64(0); i < ctr; i++ {
+		req.Addrs = append(req.Addrs, addrOf(kw, i))
+	}
+	return req, nil
+}
+
+// Resolve decrypts the server's response and cancels deletions: an id is
+// in the result iff its additions outnumber its deletions (each add
+// contributes one live reference, each delete removes one).
+func (c *Client) Resolve(namespace, w string, vals [][]byte) ([]string, error) {
+	kw := c.keywordKey(namespace, w)
+	live := make(map[string]int)
+	seen := make(map[string]bool)
+	order := make([]string, 0, len(vals))
+	for i, v := range vals {
+		if v == nil {
+			continue // cell missing server-side; tolerate
+		}
+		if len(v) != idSlot {
+			return nil, ErrBadCell
+		}
+		op, id, err := decodeCell(primitives.XOR(v, pad(kw, uint64(i))))
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case OpAdd:
+			if !seen[id] {
+				seen[id] = true
+				order = append(order, id)
+			}
+			live[id]++
+		case OpDel:
+			live[id]--
+		}
+	}
+	out := make([]string, 0, len(order))
+	for _, id := range order {
+		if live[id] > 0 {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Server is the cloud half of Mitra: a write-once cell store.
+type Server struct {
+	store     *kvstore.Store
+	namespace string
+}
+
+// NewServer builds a server over store.
+func NewServer(store *kvstore.Store, namespace string) *Server {
+	return &Server{store: store, namespace: namespace}
+}
+
+func (s *Server) cellKey(addr []byte) []byte {
+	return append([]byte("mitra/"+s.namespace+"/"), addr...)
+}
+
+// Insert stores encrypted cells.
+func (s *Server) Insert(entries []Entry) error {
+	for _, e := range entries {
+		if err := s.store.Set(s.cellKey(e.Addr), e.Val); err != nil {
+			return fmt.Errorf("mitra: inserting cell: %w", err)
+		}
+	}
+	return nil
+}
+
+// Search returns the stored values for the requested addresses, position-
+// aligned with the request (nil for missing cells) so the client can
+// derive the right pad per position.
+func (s *Server) Search(req SearchRequest) ([][]byte, error) {
+	out := make([][]byte, len(req.Addrs))
+	for i, addr := range req.Addrs {
+		v, ok, err := s.store.Get(s.cellKey(addr))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+var (
+	_ State = (*MemState)(nil)
+	_ State = (*KVState)(nil)
+)

@@ -1,0 +1,287 @@
+package mitra
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/store/kvstore"
+)
+
+func setup(t testing.TB) (*Client, *Server) {
+	t.Helper()
+	key, err := primitives.NewRandomKey()
+	if err != nil {
+		t.Fatalf("key: %v", err)
+	}
+	return NewClient(key, NewMemState()), NewServer(kvstore.New(), "test")
+}
+
+func update(t testing.TB, c *Client, s *Server, ns, w string, op Op, id string) {
+	t.Helper()
+	e, err := c.Update(ns, w, op, id)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := s.Insert([]Entry{e}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+}
+
+func search(t testing.TB, c *Client, s *Server, ns, w string) []string {
+	t.Helper()
+	req, err := c.SearchRequest(ns, w)
+	if err != nil {
+		t.Fatalf("SearchRequest: %v", err)
+	}
+	vals, err := s.Search(req)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	ids, err := c.Resolve(ns, w, vals)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func TestAddSearch(t *testing.T) {
+	c, s := setup(t)
+	update(t, c, s, "ns", "cancer", OpAdd, "d1")
+	update(t, c, s, "ns", "cancer", OpAdd, "d2")
+	got := search(t, c, s, "ns", "cancer")
+	if !reflect.DeepEqual(got, []string{"d1", "d2"}) {
+		t.Fatalf("Search = %v", got)
+	}
+}
+
+func TestBackwardPrivacyDeletion(t *testing.T) {
+	c, s := setup(t)
+	update(t, c, s, "ns", "w", OpAdd, "d1")
+	update(t, c, s, "ns", "w", OpAdd, "d2")
+	update(t, c, s, "ns", "w", OpDel, "d1")
+	got := search(t, c, s, "ns", "w")
+	if !reflect.DeepEqual(got, []string{"d2"}) {
+		t.Fatalf("Search after delete = %v", got)
+	}
+	// Re-adding a deleted id resurrects it.
+	update(t, c, s, "ns", "w", OpAdd, "d1")
+	got = search(t, c, s, "ns", "w")
+	if !reflect.DeepEqual(got, []string{"d1", "d2"}) {
+		t.Fatalf("Search after re-add = %v", got)
+	}
+}
+
+func TestDeleteBeforeAdd(t *testing.T) {
+	// A dangling delete must not produce a phantom result, and a later add
+	// is cancelled by the earlier delete only if net count <= 0; Mitra
+	// semantics are net-count based.
+	c, s := setup(t)
+	update(t, c, s, "ns", "w", OpDel, "ghost")
+	if got := search(t, c, s, "ns", "w"); len(got) != 0 {
+		t.Fatalf("Search = %v, want empty", got)
+	}
+}
+
+func TestEmptyKeyword(t *testing.T) {
+	c, s := setup(t)
+	if got := search(t, c, s, "ns", "nothing"); len(got) != 0 {
+		t.Fatalf("Search(empty) = %v", got)
+	}
+}
+
+func TestKeywordAndNamespaceIsolation(t *testing.T) {
+	c, s := setup(t)
+	update(t, c, s, "ns1", "w", OpAdd, "a")
+	update(t, c, s, "ns1", "x", OpAdd, "b")
+	if got := search(t, c, s, "ns1", "w"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("w = %v", got)
+	}
+	if got := search(t, c, s, "ns2", "w"); len(got) != 0 {
+		t.Fatalf("cross-namespace = %v", got)
+	}
+}
+
+func TestIDTooLong(t *testing.T) {
+	c, _ := setup(t)
+	long := strings.Repeat("x", MaxIDLen+1)
+	if _, err := c.Update("ns", "w", OpAdd, long); err != ErrIDTooLong {
+		t.Fatalf("Update(long id) = %v", err)
+	}
+}
+
+func TestMaxLengthID(t *testing.T) {
+	c, s := setup(t)
+	id := strings.Repeat("y", MaxIDLen)
+	update(t, c, s, "ns", "w", OpAdd, id)
+	got := search(t, c, s, "ns", "w")
+	if !reflect.DeepEqual(got, []string{id}) {
+		t.Fatalf("Search = %v", got)
+	}
+}
+
+func TestServerSeesOnlyOpaqueData(t *testing.T) {
+	key, _ := primitives.NewRandomKey()
+	store := kvstore.New()
+	c := NewClient(key, NewMemState())
+	s := NewServer(store, "ns")
+	e, err := c.Update("ns", "diagnosis", OpAdd, "patient-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert([]Entry{e})
+	keys, _ := store.Keys(nil)
+	for _, k := range keys {
+		if strings.Contains(string(k), "diagnosis") || strings.Contains(string(k), "patient-9") {
+			t.Fatal("plaintext leaked into server key")
+		}
+		v, _, _ := store.Get(k)
+		if strings.Contains(string(v), "patient-9") {
+			t.Fatal("plaintext leaked into server value")
+		}
+	}
+}
+
+func TestResolveRejectsCorruptCell(t *testing.T) {
+	c, s := setup(t)
+	update(t, c, s, "ns", "w", OpAdd, "d1")
+	req, _ := c.SearchRequest("ns", "w")
+	vals, _ := s.Search(req)
+	vals[0] = make([]byte, idSlot) // zero cell decrypts to garbage op
+	if _, err := c.Resolve("ns", "w", vals); err == nil {
+		t.Fatal("Resolve accepted corrupt cell")
+	}
+	short := [][]byte{{1, 2, 3}}
+	if _, err := c.Resolve("ns", "w", short); err == nil {
+		t.Fatal("Resolve accepted short cell")
+	}
+}
+
+func TestForwardPrivacyAddressUnlinkability(t *testing.T) {
+	// Successive updates to the same keyword must produce unrelated
+	// addresses (no shared prefix beyond chance).
+	c, _ := setup(t)
+	e1, _ := c.Update("ns", "w", OpAdd, "d1")
+	e2, _ := c.Update("ns", "w", OpAdd, "d2")
+	if reflect.DeepEqual(e1.Addr, e2.Addr) {
+		t.Fatal("two updates share an address")
+	}
+}
+
+func TestSearchEqualsReferenceQuick(t *testing.T) {
+	c, s := setup(t)
+	ref := make(map[string]map[string]int) // w -> id -> net count
+	f := func(wSel, idSel uint8, del bool) bool {
+		w := fmt.Sprintf("w%d", wSel%4)
+		id := fmt.Sprintf("d%d", idSel%16)
+		op := OpAdd
+		if del {
+			op = OpDel
+		}
+		e, err := c.Update("q", w, op, id)
+		if err != nil {
+			return false
+		}
+		if err := s.Insert([]Entry{e}); err != nil {
+			return false
+		}
+		if ref[w] == nil {
+			ref[w] = make(map[string]int)
+		}
+		if del {
+			ref[w][id]--
+		} else {
+			ref[w][id]++
+		}
+
+		got := searchQuiet(c, s, "q", w)
+		var want []string
+		for id, n := range ref[w] {
+			if n > 0 {
+				want = append(want, id)
+			}
+		}
+		sort.Strings(want)
+		if want == nil {
+			want = []string{}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func searchQuiet(c *Client, s *Server, ns, w string) []string {
+	req, err := c.SearchRequest(ns, w)
+	if err != nil {
+		return nil
+	}
+	vals, err := s.Search(req)
+	if err != nil {
+		return nil
+	}
+	ids, err := c.Resolve(ns, w, vals)
+	if err != nil {
+		return nil
+	}
+	sort.Strings(ids)
+	if ids == nil {
+		ids = []string{}
+	}
+	return ids
+}
+
+func TestKVStatePersistence(t *testing.T) {
+	st := NewKVState(kvstore.New())
+	if err := st.SetCounter("ns", "w", 9); err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Counter("ns", "w")
+	if err != nil || c != 9 {
+		t.Fatalf("Counter = %d, %v", c, err)
+	}
+	if c, _ := st.Counter("ns", "absent"); c != 0 {
+		t.Fatalf("Counter(absent) = %d", c)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	c, s := setup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := c.Update("ns", "w", OpAdd, fmt.Sprintf("d%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Insert([]Entry{e}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch1000(b *testing.B) {
+	c, s := setup(b)
+	for i := 0; i < 1000; i++ {
+		e, _ := c.Update("ns", "w", OpAdd, fmt.Sprintf("d%d", i))
+		s.Insert([]Entry{e})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, _ := c.SearchRequest("ns", "w")
+		vals, err := s.Search(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Resolve("ns", "w", vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package sophos implements the Σoφoς (Sophos) forward-private searchable
+// encryption scheme of Bost (CCS 2016). Forward privacy means update
+// tokens reveal nothing about previously searched keywords: each update's
+// address is derived from a fresh search-token state obtained by walking a
+// trapdoor permutation *backwards* with the client's private key; at
+// search time the server walks *forwards* with the public key, so old
+// states never have to be re-sent.
+//
+// The trapdoor permutation is raw RSA over Z_N* (x^d for the client's
+// inverse step, x^e for the server's forward step), exactly as in Bost's
+// construction. The paper's Table 2 lists Sophos at protection class 2
+// (Identifiers) with "Key management" as its integration challenge — the
+// gateway must hold the RSA private key and per-keyword state.
+package sophos
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/store/kvstore"
+)
+
+// stBytes is the fixed serialized width of a TDP state (2048-bit modulus).
+const stBytes = 256
+
+// RSABits is the TDP modulus size.
+const RSABits = 2048
+
+// idSlot is the fixed plaintext width of a value cell: 1 length byte +
+// up to MaxIDLen id bytes.
+const (
+	// MaxIDLen is the longest supported document identifier.
+	MaxIDLen = 63
+	idSlot   = 1 + MaxIDLen
+)
+
+// Errors returned by this package.
+var (
+	ErrIDTooLong = errors.New("sophos: document id exceeds 63 bytes")
+	ErrBadCell   = errors.New("sophos: malformed server cell")
+	ErrBadToken  = errors.New("sophos: malformed search token")
+)
+
+// KeywordState is the client's per-keyword record: the latest TDP state
+// and the number of updates.
+type KeywordState struct {
+	ST    []byte `json:"st"` // current state, fixed width
+	Count uint64 `json:"count"`
+}
+
+// State persists per-keyword records.
+type State interface {
+	// Keyword returns the record for w and whether it exists.
+	Keyword(namespace, w string) (KeywordState, bool, error)
+	// SetKeyword stores the record for w.
+	SetKeyword(namespace, w string, ks KeywordState) error
+}
+
+// MemState is an in-memory State.
+type MemState struct {
+	mu sync.RWMutex
+	m  map[string]KeywordState
+}
+
+// NewMemState returns an empty MemState.
+func NewMemState() *MemState { return &MemState{m: make(map[string]KeywordState)} }
+
+// Keyword implements State.
+func (s *MemState) Keyword(namespace, w string) (KeywordState, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ks, ok := s.m[namespace+"\x00"+w]
+	return ks, ok, nil
+}
+
+// SetKeyword implements State.
+func (s *MemState) SetKeyword(namespace, w string, ks KeywordState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[namespace+"\x00"+w] = ks
+	return nil
+}
+
+// KVState persists keyword records in the gateway kvstore.
+type KVState struct {
+	store *kvstore.Store
+}
+
+// NewKVState wraps store.
+func NewKVState(store *kvstore.Store) *KVState { return &KVState{store: store} }
+
+// Keyword implements State.
+func (s *KVState) Keyword(namespace, w string) (KeywordState, bool, error) {
+	raw, ok, err := s.store.Get([]byte("sophosstate/" + namespace + "\x00" + w))
+	if err != nil || !ok {
+		return KeywordState{}, false, err
+	}
+	var ks KeywordState
+	if err := json.Unmarshal(raw, &ks); err != nil {
+		return KeywordState{}, false, fmt.Errorf("sophos: decoding state: %w", err)
+	}
+	return ks, true, nil
+}
+
+// SetKeyword implements State.
+func (s *KVState) SetKeyword(namespace, w string, ks KeywordState) error {
+	raw, err := json.Marshal(ks)
+	if err != nil {
+		return err
+	}
+	return s.store.Set([]byte("sophosstate/"+namespace+"\x00"+w), raw)
+}
+
+// Entry is one encrypted update cell.
+type Entry struct {
+	Addr []byte `json:"addr"`
+	Val  []byte `json:"val"`
+}
+
+// SearchToken lets the server walk the TDP chain forwards.
+type SearchToken struct {
+	// KeywordKey keys the H1/H2 hashes for this keyword.
+	KeywordKey []byte `json:"keyword_key"`
+	// ST is the newest state.
+	ST []byte `json:"st"`
+	// Count is the number of updates (chain length).
+	Count uint64 `json:"count"`
+}
+
+// Client is the gateway half of Sophos. It holds the RSA trapdoor.
+// Inserts are serialized per keyword (the TDP state chain is inherently
+// sequential) via striped locks, so the client is safe for concurrent use.
+type Client struct {
+	key   primitives.Key
+	rsa   *rsa.PrivateKey
+	state State
+	locks [64]sync.Mutex
+}
+
+// NewClient derives the Sophos client. Generating the RSA trapdoor takes
+// noticeable time; reuse clients.
+func NewClient(key primitives.Key, state State) (*Client, error) {
+	pk, err := rsa.GenerateKey(rand.Reader, RSABits)
+	if err != nil {
+		return nil, fmt.Errorf("sophos: generating TDP: %w", err)
+	}
+	return NewClientWithTDP(key, state, pk)
+}
+
+// NewClientWithTDP builds a client over an existing RSA trapdoor (e.g.
+// loaded from the key management system).
+func NewClientWithTDP(key primitives.Key, state State, pk *rsa.PrivateKey) (*Client, error) {
+	if pk.N.BitLen() > RSABits {
+		return nil, fmt.Errorf("sophos: TDP modulus %d bits exceeds %d", pk.N.BitLen(), RSABits)
+	}
+	return &Client{key: primitives.PRFKey(key, []byte("sophos")), rsa: pk, state: state}, nil
+}
+
+// PublicKey returns the TDP public key material for the server.
+type PublicKey struct {
+	N []byte `json:"n"`
+	E int    `json:"e"`
+}
+
+// PublicKey exports the server half of the trapdoor.
+func (c *Client) PublicKey() PublicKey {
+	return PublicKey{N: c.rsa.N.Bytes(), E: c.rsa.E}
+}
+
+// TDP exposes the RSA trapdoor so callers can persist it (key management
+// integration); treat the returned key as secret material.
+func (c *Client) TDP() *rsa.PrivateKey { return c.rsa }
+
+func (c *Client) keywordKey(namespace, w string) primitives.Key {
+	return primitives.PRFKey(c.key, []byte(namespace), []byte{0}, []byte(w))
+}
+
+// inverse applies π⁻¹ (x^d mod N).
+func (c *Client) inverse(st []byte) []byte {
+	x := new(big.Int).SetBytes(st)
+	y := new(big.Int).Exp(x, c.rsa.D, c.rsa.N)
+	out := make([]byte, stBytes)
+	y.FillBytes(out)
+	return out
+}
+
+// forward applies π (x^e mod N) — the server-side step.
+func forward(pk PublicKey, st []byte) []byte {
+	n := new(big.Int).SetBytes(pk.N)
+	x := new(big.Int).SetBytes(st)
+	y := new(big.Int).Exp(x, big.NewInt(int64(pk.E)), n)
+	out := make([]byte, stBytes)
+	y.FillBytes(out)
+	return out
+}
+
+func h1(kw, st []byte) []byte {
+	k, _ := primitives.KeyFromBytes(kw)
+	return primitives.PRF(k, []byte{1}, st)
+}
+
+func h2(kw, st []byte) []byte {
+	k, _ := primitives.KeyFromBytes(kw)
+	p := make([]byte, 0, idSlot)
+	for blk := uint64(0); len(p) < idSlot; blk++ {
+		p = append(p, primitives.PRF(k, []byte{2}, st, primitives.Uint64Bytes(blk))...)
+	}
+	return p[:idSlot]
+}
+
+func encodeCell(id string) ([]byte, error) {
+	if len(id) > MaxIDLen {
+		return nil, ErrIDTooLong
+	}
+	cell := make([]byte, idSlot)
+	cell[0] = byte(len(id))
+	copy(cell[1:], id)
+	return cell, nil
+}
+
+func decodeCell(cell []byte) (string, error) {
+	if len(cell) != idSlot || int(cell[0]) > MaxIDLen {
+		return "", ErrBadCell
+	}
+	return string(cell[1 : 1+cell[0]]), nil
+}
+
+func (c *Client) lockFor(namespace, w string) *sync.Mutex {
+	h := fnv32(namespace + "\x00" + w)
+	return &c.locks[h%uint32(len(c.locks))]
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Insert produces the encrypted cell adding id under w. Sophos has no
+// native deletion; the middleware layers a revocation set above it.
+func (c *Client) Insert(namespace, w, id string) (Entry, error) {
+	mu := c.lockFor(namespace, w)
+	mu.Lock()
+	defer mu.Unlock()
+	ks, ok, err := c.state.Keyword(namespace, w)
+	if err != nil {
+		return Entry{}, err
+	}
+	if !ok {
+		// First update: sample ST_0 uniformly from Z_N*.
+		st0, err := rand.Int(rand.Reader, c.rsa.N)
+		if err != nil {
+			return Entry{}, fmt.Errorf("sophos: sampling ST0: %w", err)
+		}
+		buf := make([]byte, stBytes)
+		st0.FillBytes(buf)
+		ks = KeywordState{ST: buf, Count: 0}
+	} else {
+		// Walk backwards: ST_c = π⁻¹(ST_{c-1}).
+		ks.ST = c.inverse(ks.ST)
+	}
+	ks.Count++
+
+	kw := c.keywordKey(namespace, w)
+	cell, err := encodeCell(id)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		Addr: h1(kw[:], ks.ST),
+		Val:  primitives.XOR(cell, h2(kw[:], ks.ST)),
+	}
+	if err := c.state.SetKeyword(namespace, w, ks); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// Token builds the search token for w. ok is false when w has never been
+// inserted (the search trivially returns nothing).
+func (c *Client) Token(namespace, w string) (SearchToken, bool, error) {
+	ks, ok, err := c.state.Keyword(namespace, w)
+	if err != nil || !ok {
+		return SearchToken{}, false, err
+	}
+	kw := c.keywordKey(namespace, w)
+	return SearchToken{KeywordKey: kw[:], ST: ks.ST, Count: ks.Count}, true, nil
+}
+
+// Server is the cloud half of Sophos.
+type Server struct {
+	store     *kvstore.Store
+	namespace string
+	pk        PublicKey
+}
+
+// NewServer builds a server over store with the client's TDP public key.
+func NewServer(store *kvstore.Store, namespace string, pk PublicKey) *Server {
+	return &Server{store: store, namespace: namespace, pk: pk}
+}
+
+func (s *Server) cellKey(addr []byte) []byte {
+	return append([]byte("sophos/"+s.namespace+"/"), addr...)
+}
+
+// Insert stores encrypted cells.
+func (s *Server) Insert(entries []Entry) error {
+	for _, e := range entries {
+		if err := s.store.Set(s.cellKey(e.Addr), e.Val); err != nil {
+			return fmt.Errorf("sophos: inserting cell: %w", err)
+		}
+	}
+	return nil
+}
+
+// Search walks the TDP chain from the newest state to ST_1, decrypting the
+// cell at each state, and returns the ids. Missing cells are tolerated.
+func (s *Server) Search(t SearchToken) ([]string, error) {
+	if len(t.KeywordKey) != primitives.KeySize || len(t.ST) != stBytes {
+		return nil, ErrBadToken
+	}
+	ids := make([]string, 0, t.Count)
+	st := t.ST
+	for i := t.Count; i > 0; i-- {
+		addr := h1(t.KeywordKey, st)
+		val, ok, err := s.store.Get(s.cellKey(addr))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if len(val) != idSlot {
+				return nil, ErrBadCell
+			}
+			id, err := decodeCell(primitives.XOR(val, h2(t.KeywordKey, st)))
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		if i > 1 {
+			st = forward(s.pk, st)
+		}
+	}
+	return ids, nil
+}
+
+var (
+	_ State = (*MemState)(nil)
+	_ State = (*KVState)(nil)
+)

@@ -1,0 +1,280 @@
+// Package docstore implements the document-oriented store DataBlinder's
+// cloud side keeps encrypted documents in. The original system used MongoDB
+// or Elasticsearch; the middleware only ever needs put/get/delete/scan by
+// document identifier on opaque (encrypted) blobs within named collections,
+// which this package provides with optional snapshot persistence.
+//
+// All operations are safe for concurrent use.
+package docstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrClosed   = errors.New("docstore: store is closed")
+	ErrNotFound = errors.New("docstore: document not found")
+	ErrExists   = errors.New("docstore: document already exists")
+)
+
+// Record is a stored document: an identifier plus an opaque payload. The
+// payload is typically a whole-document AEAD ciphertext; the store never
+// interprets it.
+type Record struct {
+	ID   string `json:"id"`
+	Blob []byte `json:"blob"`
+}
+
+// Store is an in-memory multi-collection document store.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]map[string][]byte
+	closed      bool
+	dir         string // snapshot directory; empty disables persistence
+}
+
+// New returns an empty in-memory store with no persistence.
+func New() *Store {
+	return &Store{collections: make(map[string]map[string][]byte)}
+}
+
+// Open returns a store that can snapshot its collections as JSON files in
+// dir, loading any existing snapshots.
+func Open(dir string) (*Store, error) {
+	s := New()
+	s.dir = dir
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("docstore: creating snapshot dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: reading snapshot dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		name := e.Name()[:len(e.Name())-len(".json")]
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("docstore: reading snapshot %s: %w", e.Name(), err)
+		}
+		var recs []Record
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("docstore: decoding snapshot %s: %w", e.Name(), err)
+		}
+		col := make(map[string][]byte, len(recs))
+		for _, r := range recs {
+			col[r.ID] = r.Blob
+		}
+		s.collections[name] = col
+	}
+	return s, nil
+}
+
+func (s *Store) collection(name string) map[string][]byte {
+	col := s.collections[name]
+	if col == nil {
+		col = make(map[string][]byte)
+		s.collections[name] = col
+	}
+	return col
+}
+
+// Insert stores blob under id in collection, failing if id already exists.
+func (s *Store) Insert(collection, id string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	col := s.collection(collection)
+	if _, ok := col[id]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrExists, collection, id)
+	}
+	col[id] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Put stores blob under id in collection, overwriting any existing value.
+func (s *Store) Put(collection, id string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.collection(collection)[id] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Get returns the blob stored under id in collection.
+func (s *Store) Get(collection, id string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	blob, ok := s.collections[collection][id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// GetMany returns the records for the given ids, skipping missing ones.
+// The result preserves the order of ids.
+func (s *Store) GetMany(collection string, ids []string) ([]Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	col := s.collections[collection]
+	out := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		if blob, ok := col[id]; ok {
+			out = append(out, Record{ID: id, Blob: append([]byte(nil), blob...)})
+		}
+	}
+	return out, nil
+}
+
+// Delete removes id from collection. Deleting a missing document returns
+// ErrNotFound.
+func (s *Store) Delete(collection, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	col := s.collections[collection]
+	if _, ok := col[id]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
+	}
+	delete(col, id)
+	return nil
+}
+
+// Exists reports whether id is present in collection.
+func (s *Store) Exists(collection, id string) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, ok := s.collections[collection][id]
+	return ok, nil
+}
+
+// Count returns the number of documents in collection.
+func (s *Store) Count(collection string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.collections[collection]), nil
+}
+
+// Scan returns up to limit records from collection with id > after, in id
+// order. A limit <= 0 means no limit. It supports the RND tactic's
+// exhaustive equality search and administrative tooling.
+func (s *Store) Scan(collection, after string, limit int) ([]Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	col := s.collections[collection]
+	ids := make([]string, 0, len(col))
+	for id := range col {
+		if id > after {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]Record, len(ids))
+	for i, id := range ids {
+		out[i] = Record{ID: id, Blob: append([]byte(nil), col[id]...)}
+	}
+	return out, nil
+}
+
+// Collections returns the collection names, sorted.
+func (s *Store) Collections() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Snapshot writes every collection to its JSON snapshot file. It is a
+// no-op for stores created with New.
+func (s *Store) Snapshot() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dir == "" {
+		return nil
+	}
+	for name, col := range s.collections {
+		ids := make([]string, 0, len(col))
+		for id := range col {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		recs := make([]Record, len(ids))
+		for i, id := range ids {
+			recs[i] = Record{ID: id, Blob: col[id]}
+		}
+		data, err := json.Marshal(recs)
+		if err != nil {
+			return fmt.Errorf("docstore: encoding snapshot %s: %w", name, err)
+		}
+		tmp := filepath.Join(s.dir, name+".json.tmp")
+		if err := os.WriteFile(tmp, data, 0o600); err != nil {
+			return fmt.Errorf("docstore: writing snapshot %s: %w", name, err)
+		}
+		if err := os.Rename(tmp, filepath.Join(s.dir, name+".json")); err != nil {
+			return fmt.Errorf("docstore: committing snapshot %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Close marks the store closed. With persistence enabled it snapshots
+// first. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if err := s.Snapshot(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,464 @@
+// Package kvstore implements a Redis-like key-value store with the basic
+// constructions DataBlinder tactics build custom secure indexes from:
+// byte-string values, hash maps, sets, and counters. The original system
+// deployed Redis "in a semi-persistent durability mode" on both the gateway
+// and the cloud; this package provides the same contract in-process, with
+// optional append-only-file persistence.
+//
+// All operations are safe for concurrent use.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Store is an in-memory key-value store with optional AOF persistence.
+// The zero value is not usable; construct with New or Open.
+type Store struct {
+	mu       sync.RWMutex
+	strings  map[string][]byte
+	hashes   map[string]map[string][]byte
+	sets     map[string]map[string]struct{}
+	counters map[string]int64
+	zsets    map[string][]zentry
+	closed   bool
+
+	aof *bufio.Writer
+	f   *os.File
+}
+
+// New returns an empty in-memory store with no persistence.
+func New() *Store {
+	return &Store{
+		strings:  make(map[string][]byte),
+		hashes:   make(map[string]map[string][]byte),
+		sets:     make(map[string]map[string]struct{}),
+		counters: make(map[string]int64),
+		zsets:    make(map[string][]zentry),
+	}
+}
+
+// Open returns a store backed by an append-only file at path, replaying any
+// existing log — the "semi-persistent durability mode" of the paper's Redis
+// deployment. Writes are buffered; call Sync or Close to flush.
+func Open(path string) (*Store, error) {
+	s := New()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: opening AOF: %w", err)
+	}
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for scanner.Scan() {
+		line++
+		if err := s.replay(scanner.Text()); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: AOF line %d: %w", line, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: reading AOF: %w", err)
+	}
+	s.f = f
+	s.aof = bufio.NewWriter(f)
+	return s, nil
+}
+
+func enc(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+func dec(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
+
+// replay applies one AOF record. Records are space-separated:
+//
+//	SET key val | DEL key | HSET key field val | HDEL key field |
+//	SADD key member | SREM key member | INCR key delta
+func (s *Store) replay(rec string) error {
+	parts := strings.Split(rec, " ")
+	if len(parts) < 2 {
+		return fmt.Errorf("malformed record %q", rec)
+	}
+	op := parts[0]
+	key, err := dec(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad key encoding: %w", err)
+	}
+	k := string(key)
+	arg := func(i int) ([]byte, error) {
+		if i >= len(parts) {
+			return nil, fmt.Errorf("record %q missing argument %d", rec, i)
+		}
+		return dec(parts[i])
+	}
+	switch op {
+	case "SET":
+		v, err := arg(2)
+		if err != nil {
+			return err
+		}
+		s.strings[k] = v
+	case "DEL":
+		delete(s.strings, k)
+		delete(s.hashes, k)
+		delete(s.sets, k)
+		delete(s.counters, k)
+		delete(s.zsets, k)
+	case "HSET":
+		f, err := arg(2)
+		if err != nil {
+			return err
+		}
+		v, err := arg(3)
+		if err != nil {
+			return err
+		}
+		h := s.hashes[k]
+		if h == nil {
+			h = make(map[string][]byte)
+			s.hashes[k] = h
+		}
+		h[string(f)] = v
+	case "HDEL":
+		f, err := arg(2)
+		if err != nil {
+			return err
+		}
+		delete(s.hashes[k], string(f))
+	case "SADD":
+		m, err := arg(2)
+		if err != nil {
+			return err
+		}
+		set := s.sets[k]
+		if set == nil {
+			set = make(map[string]struct{})
+			s.sets[k] = set
+		}
+		set[string(m)] = struct{}{}
+	case "SREM":
+		m, err := arg(2)
+		if err != nil {
+			return err
+		}
+		delete(s.sets[k], string(m))
+	case "INCR":
+		d, err := arg(2)
+		if err != nil {
+			return err
+		}
+		var delta int64
+		if _, err := fmt.Sscanf(string(d), "%d", &delta); err != nil {
+			return fmt.Errorf("bad INCR delta: %w", err)
+		}
+		s.counters[k] += delta
+	case "ZADD", "ZREM":
+		return s.replayZ(op, key, parts)
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+	return nil
+}
+
+// log appends a record to the AOF if persistence is enabled. Caller must
+// hold s.mu.
+func (s *Store) log(op string, args ...[]byte) {
+	if s.aof == nil {
+		return
+	}
+	rec := make([]string, 0, len(args)+1)
+	rec = append(rec, op)
+	for _, a := range args {
+		rec = append(rec, enc(a))
+	}
+	fmt.Fprintln(s.aof, strings.Join(rec, " "))
+}
+
+// Set stores value under key.
+func (s *Store) Set(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), value...)
+	s.strings[string(key)] = cp
+	s.log("SET", key, value)
+	return nil
+}
+
+// Get returns the value for key and whether it exists.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.strings[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Del removes key from all namespaces (string, hash, set, counter).
+func (s *Store) Del(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	k := string(key)
+	delete(s.strings, k)
+	delete(s.hashes, k)
+	delete(s.sets, k)
+	delete(s.counters, k)
+	delete(s.zsets, k)
+	s.log("DEL", key)
+	return nil
+}
+
+// HSet stores value under (key, field) in a hash map.
+func (s *Store) HSet(key, field, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	h := s.hashes[string(key)]
+	if h == nil {
+		h = make(map[string][]byte)
+		s.hashes[string(key)] = h
+	}
+	h[string(field)] = append([]byte(nil), value...)
+	s.log("HSET", key, field, value)
+	return nil
+}
+
+// HGet returns the value for (key, field) and whether it exists.
+func (s *Store) HGet(key, field []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.hashes[string(key)][string(field)]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// HDel removes field from the hash at key.
+func (s *Store) HDel(key, field []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.hashes[string(key)], string(field))
+	s.log("HDEL", key, field)
+	return nil
+}
+
+// HLen returns the number of fields in the hash at key.
+func (s *Store) HLen(key []byte) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.hashes[string(key)]), nil
+}
+
+// HFields returns the field names of the hash at key, sorted.
+func (s *Store) HFields(key []byte) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	h := s.hashes[string(key)]
+	names := make([]string, 0, len(h))
+	for f := range h {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	out := make([][]byte, len(names))
+	for i, f := range names {
+		out[i] = []byte(f)
+	}
+	return out, nil
+}
+
+// SAdd adds member to the set at key.
+func (s *Store) SAdd(key, member []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	set := s.sets[string(key)]
+	if set == nil {
+		set = make(map[string]struct{})
+		s.sets[string(key)] = set
+	}
+	set[string(member)] = struct{}{}
+	s.log("SADD", key, member)
+	return nil
+}
+
+// SRem removes member from the set at key.
+func (s *Store) SRem(key, member []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.sets[string(key)], string(member))
+	s.log("SREM", key, member)
+	return nil
+}
+
+// SMembers returns the members of the set at key, sorted.
+func (s *Store) SMembers(key []byte) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	set := s.sets[string(key)]
+	members := make([]string, 0, len(set))
+	for m := range set {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	out := make([][]byte, len(members))
+	for i, m := range members {
+		out[i] = []byte(m)
+	}
+	return out, nil
+}
+
+// SCard returns the cardinality of the set at key.
+func (s *Store) SCard(key []byte) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.sets[string(key)]), nil
+}
+
+// SIsMember reports whether member is in the set at key.
+func (s *Store) SIsMember(key, member []byte) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, ok := s.sets[string(key)][string(member)]
+	return ok, nil
+}
+
+// Incr adds delta to the counter at key and returns the new value.
+func (s *Store) Incr(key []byte, delta int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.counters[string(key)] += delta
+	s.log("INCR", key, []byte(fmt.Sprintf("%d", delta)))
+	return s.counters[string(key)], nil
+}
+
+// Counter returns the current counter value at key (0 if unset).
+func (s *Store) Counter(key []byte) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.counters[string(key)], nil
+}
+
+// Keys returns all string keys with the given prefix, sorted. It exists for
+// administrative tooling and tests; tactics never enumerate keys.
+func (s *Store) Keys(prefix []byte) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var keys []string
+	p := string(prefix)
+	for k := range s.strings {
+		if strings.HasPrefix(k, p) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = []byte(k)
+	}
+	return out, nil
+}
+
+// Len returns the total number of top-level keys across all namespaces.
+func (s *Store) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.strings) + len(s.hashes) + len(s.sets) + len(s.counters) + len(s.zsets), nil
+}
+
+// Sync flushes buffered AOF writes to the operating system.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.aof == nil {
+		return nil
+	}
+	if err := s.aof.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flushing AOF: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the store. Subsequent operations return
+// ErrClosed. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.aof != nil {
+		if err := s.aof.Flush(); err != nil {
+			s.f.Close()
+			return fmt.Errorf("kvstore: flushing AOF on close: %w", err)
+		}
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("kvstore: closing AOF: %w", err)
+		}
+	}
+	return nil
+}

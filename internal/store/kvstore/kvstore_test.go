@@ -1,0 +1,338 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetDel(t *testing.T) {
+	s := New()
+	if err := s.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, ok, err := s.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if err := s.Del([]byte("k")); err != nil {
+		t.Fatalf("Del: %v", err)
+	}
+	if _, ok, _ := s.Get([]byte("k")); ok {
+		t.Fatal("key survived Del")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	v, ok, err := s.Get([]byte("nope"))
+	if err != nil || ok || v != nil {
+		t.Fatalf("Get(missing) = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestValueCopySemantics(t *testing.T) {
+	s := New()
+	buf := []byte("original")
+	if err := s.Set([]byte("k"), buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // mutating the caller's slice must not affect the store
+	v, _, _ := s.Get([]byte("k"))
+	if string(v) != "original" {
+		t.Fatalf("store aliased caller slice: %q", v)
+	}
+	v[0] = 'Y' // mutating the returned slice must not affect the store
+	v2, _, _ := s.Get([]byte("k"))
+	if string(v2) != "original" {
+		t.Fatalf("store returned aliased slice: %q", v2)
+	}
+}
+
+func TestHashOps(t *testing.T) {
+	s := New()
+	if err := s.HSet([]byte("h"), []byte("f1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HSet([]byte("h"), []byte("f2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.HGet([]byte("h"), []byte("f1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("HGet = %q, %v, %v", v, ok, err)
+	}
+	if n, _ := s.HLen([]byte("h")); n != 2 {
+		t.Fatalf("HLen = %d, want 2", n)
+	}
+	fields, err := s.HFields([]byte("h"))
+	if err != nil || len(fields) != 2 || string(fields[0]) != "f1" || string(fields[1]) != "f2" {
+		t.Fatalf("HFields = %v, %v", fields, err)
+	}
+	if err := s.HDel([]byte("h"), []byte("f1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.HGet([]byte("h"), []byte("f1")); ok {
+		t.Fatal("field survived HDel")
+	}
+	if n, _ := s.HLen([]byte("h")); n != 1 {
+		t.Fatalf("HLen after HDel = %d, want 1", n)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := New()
+	for _, m := range []string{"b", "a", "c", "a"} {
+		if err := s.SAdd([]byte("s"), []byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.SCard([]byte("s")); n != 3 {
+		t.Fatalf("SCard = %d, want 3 (dedup)", n)
+	}
+	members, _ := s.SMembers([]byte("s"))
+	want := []string{"a", "b", "c"}
+	for i, m := range members {
+		if string(m) != want[i] {
+			t.Fatalf("SMembers[%d] = %q, want %q", i, m, want[i])
+		}
+	}
+	if ok, _ := s.SIsMember([]byte("s"), []byte("b")); !ok {
+		t.Fatal("SIsMember(b) = false")
+	}
+	if err := s.SRem([]byte("s"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.SIsMember([]byte("s"), []byte("b")); ok {
+		t.Fatal("member survived SRem")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	if v, err := s.Incr([]byte("c"), 5); err != nil || v != 5 {
+		t.Fatalf("Incr = %d, %v", v, err)
+	}
+	if v, err := s.Incr([]byte("c"), -2); err != nil || v != 3 {
+		t.Fatalf("Incr = %d, %v", v, err)
+	}
+	if v, err := s.Counter([]byte("c")); err != nil || v != 3 {
+		t.Fatalf("Counter = %d, %v", v, err)
+	}
+	if v, err := s.Counter([]byte("unset")); err != nil || v != 0 {
+		t.Fatalf("Counter(unset) = %d, %v", v, err)
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := New()
+	for _, k := range []string{"idx:a", "idx:b", "doc:1"} {
+		if err := s.Set([]byte(k), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys([]byte("idx:"))
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := New()
+	s.Set([]byte("a"), []byte("1"))
+	s.HSet([]byte("b"), []byte("f"), []byte("1"))
+	s.SAdd([]byte("c"), []byte("m"))
+	s.Incr([]byte("d"), 1)
+	if n, _ := s.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4", n)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := New()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Set([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Set after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Incr([]byte("k"), 1); err != ErrClosed {
+		t.Fatalf("Incr after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.aof")
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.Set([]byte("k"), []byte("v"))
+	s.HSet([]byte("h"), []byte("f"), []byte("hv"))
+	s.SAdd([]byte("set"), []byte("m1"))
+	s.SAdd([]byte("set"), []byte("m2"))
+	s.SRem([]byte("set"), []byte("m1"))
+	s.Incr([]byte("c"), 7)
+	s.Set([]byte("gone"), []byte("x"))
+	s.Del([]byte("gone"))
+	s.HSet([]byte("h"), []byte("dead"), []byte("x"))
+	s.HDel([]byte("h"), []byte("dead"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if v, ok, _ := s2.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("string not replayed: %q, %v", v, ok)
+	}
+	if v, ok, _ := s2.HGet([]byte("h"), []byte("f")); !ok || string(v) != "hv" {
+		t.Fatalf("hash not replayed: %q, %v", v, ok)
+	}
+	if _, ok, _ := s2.HGet([]byte("h"), []byte("dead")); ok {
+		t.Fatal("HDel not replayed")
+	}
+	if ok, _ := s2.SIsMember([]byte("set"), []byte("m2")); !ok {
+		t.Fatal("SAdd not replayed")
+	}
+	if ok, _ := s2.SIsMember([]byte("set"), []byte("m1")); ok {
+		t.Fatal("SRem not replayed")
+	}
+	if c, _ := s2.Counter([]byte("c")); c != 7 {
+		t.Fatalf("counter not replayed: %d", c)
+	}
+	if _, ok, _ := s2.Get([]byte("gone")); ok {
+		t.Fatal("DEL not replayed")
+	}
+}
+
+func TestPersistenceBinaryKeys(t *testing.T) {
+	// Keys/values containing spaces, newlines, and non-UTF8 bytes must
+	// survive the text AOF format.
+	path := filepath.Join(t.TempDir(), "bin.aof")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte{0, 1, ' ', '\n', 0xFF}
+	val := []byte{0xde, 0xad, '\n', ' '}
+	s.Set(key, val)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get(key)
+	if !ok || !bytes.Equal(v, val) {
+		t.Fatalf("binary round trip failed: %x, %v", v, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("k%d-%d", g, i))
+				if err := s.Set(k, k); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+				if _, _, err := s.Get(k); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if _, err := s.Incr([]byte("shared"), 1); err != nil {
+					t.Errorf("Incr: %v", err)
+					return
+				}
+				if err := s.SAdd([]byte("all"), k); err != nil {
+					t.Errorf("SAdd: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c, _ := s.Counter([]byte("shared")); c != 8*200 {
+		t.Fatalf("counter = %d, want %d", c, 8*200)
+	}
+	if n, _ := s.SCard([]byte("all")); n != 8*200 {
+		t.Fatalf("set card = %d, want %d", n, 8*200)
+	}
+}
+
+func TestQuickSetGet(t *testing.T) {
+	s := New()
+	f := func(k, v []byte) bool {
+		if err := s.Set(k, v); err != nil {
+			return false
+		}
+		got, ok, err := s.Get(k)
+		return err == nil && ok && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	s := New()
+	bad := []string{
+		"",
+		"SET",
+		"SET !!notbase64!! dg==",
+		"SET dg==",           // missing value
+		"HSET dg== dg==",     // missing value
+		"INCR dg== bm90bnVt", // non-numeric delta
+		"BOGUS dg== dg==",
+	}
+	for _, rec := range bad {
+		if err := s.replay(rec); err == nil {
+			t.Errorf("replay(%q) succeeded, want error", rec)
+		}
+	}
+}
+
+func TestOpenRejectsCorruptAOF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.aof")
+	if err := os.WriteFile(path, []byte("SET dg== dg==\nGARBAGE LINE\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted corrupt AOF")
+	}
+}
+
+func TestOpenCreatesMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.aof")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(new path): %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("AOF not created: %v", err)
+	}
+}

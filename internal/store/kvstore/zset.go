@@ -1,0 +1,168 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// zentry is one sorted-set element: ordered by (score, member).
+type zentry struct {
+	score  []byte
+	member []byte
+}
+
+// zless orders entries lexicographically by score, then member.
+func zless(a, b zentry) bool {
+	if c := bytes.Compare(a.score, b.score); c != 0 {
+		return c < 0
+	}
+	return bytes.Compare(a.member, b.member) < 0
+}
+
+// zfind returns the insertion index of e and whether an equal entry exists.
+func zfind(z []zentry, e zentry) (int, bool) {
+	i := sort.Search(len(z), func(i int) bool { return !zless(z[i], e) })
+	if i < len(z) && bytes.Equal(z[i].score, e.score) && bytes.Equal(z[i].member, e.member) {
+		return i, true
+	}
+	return i, false
+}
+
+// ZAdd inserts (score, member) into the sorted set at key. Scores order
+// lexicographically — fixed-width big-endian encodings (like OPE
+// ciphertexts) therefore order numerically. Duplicate (score, member)
+// pairs are ignored.
+func (s *Store) ZAdd(key, score, member []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.zsets == nil {
+		s.zsets = make(map[string][]zentry)
+	}
+	e := zentry{score: append([]byte(nil), score...), member: append([]byte(nil), member...)}
+	z := s.zsets[string(key)]
+	i, exists := zfind(z, e)
+	if exists {
+		return nil
+	}
+	z = append(z, zentry{})
+	copy(z[i+1:], z[i:])
+	z[i] = e
+	s.zsets[string(key)] = z
+	s.log("ZADD", key, score, member)
+	return nil
+}
+
+// ZRem removes (score, member) from the sorted set at key.
+func (s *Store) ZRem(key, score, member []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	z := s.zsets[string(key)]
+	i, exists := zfind(z, zentry{score: score, member: member})
+	if !exists {
+		return nil
+	}
+	s.zsets[string(key)] = append(z[:i], z[i+1:]...)
+	s.log("ZREM", key, score, member)
+	return nil
+}
+
+// ZPair is one (score, member) element returned by range queries.
+type ZPair struct {
+	Score  []byte
+	Member []byte
+}
+
+// ZRangeByScore returns the elements whose score lies between lo and hi.
+// Nil bounds are unbounded; inclusivity is per bound.
+func (s *Store) ZRangeByScore(key, lo, hi []byte, loInc, hiInc bool) ([]ZPair, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	z := s.zsets[string(key)]
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(z), func(i int) bool {
+			c := bytes.Compare(z[i].score, lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(z)
+	if hi != nil {
+		end = sort.Search(len(z), func(i int) bool {
+			c := bytes.Compare(z[i].score, hi)
+			if hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil, nil
+	}
+	out := make([]ZPair, 0, end-start)
+	for _, e := range z[start:end] {
+		out = append(out, ZPair{
+			Score:  append([]byte(nil), e.score...),
+			Member: append([]byte(nil), e.member...),
+		})
+	}
+	return out, nil
+}
+
+// ZCard returns the cardinality of the sorted set at key.
+func (s *Store) ZCard(key []byte) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return len(s.zsets[string(key)]), nil
+}
+
+// replayZ applies ZADD/ZREM AOF records; called from replay.
+func (s *Store) replayZ(op string, key []byte, parts []string) error {
+	if len(parts) < 4 {
+		return fmt.Errorf("malformed %s record", op)
+	}
+	score, err := dec(parts[2])
+	if err != nil {
+		return err
+	}
+	member, err := dec(parts[3])
+	if err != nil {
+		return err
+	}
+	if s.zsets == nil {
+		s.zsets = make(map[string][]zentry)
+	}
+	e := zentry{score: score, member: member}
+	z := s.zsets[string(key)]
+	i, exists := zfind(z, e)
+	switch op {
+	case "ZADD":
+		if exists {
+			return nil
+		}
+		z = append(z, zentry{})
+		copy(z[i+1:], z[i:])
+		z[i] = e
+		s.zsets[string(key)] = z
+	case "ZREM":
+		if exists {
+			s.zsets[string(key)] = append(z[:i], z[i+1:]...)
+		}
+	}
+	return nil
+}

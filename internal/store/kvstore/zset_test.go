@@ -1,0 +1,185 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func score(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func TestZAddRangeByScore(t *testing.T) {
+	s := New()
+	for _, v := range []uint64{50, 10, 30, 20, 40} {
+		if err := s.ZAdd([]byte("z"), score(v), []byte{byte(v)}); err != nil {
+			t.Fatalf("ZAdd: %v", err)
+		}
+	}
+	if n, _ := s.ZCard([]byte("z")); n != 5 {
+		t.Fatalf("ZCard = %d", n)
+	}
+
+	tests := []struct {
+		name         string
+		lo, hi       []byte
+		loInc, hiInc bool
+		want         []uint64
+	}{
+		{"all", nil, nil, true, true, []uint64{10, 20, 30, 40, 50}},
+		{"inclusive", score(20), score(40), true, true, []uint64{20, 30, 40}},
+		{"exclusive", score(20), score(40), false, false, []uint64{30}},
+		{"lo only", score(35), nil, true, true, []uint64{40, 50}},
+		{"hi only", nil, score(25), true, true, []uint64{10, 20}},
+		{"empty window", score(41), score(49), true, true, nil},
+		{"inverted", score(40), score(20), true, true, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := s.ZRangeByScore([]byte("z"), tt.lo, tt.hi, tt.loInc, tt.hiInc)
+			if err != nil {
+				t.Fatalf("ZRangeByScore: %v", err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d results, want %d", len(got), len(tt.want))
+			}
+			for i, p := range got {
+				if binary.BigEndian.Uint64(p.Score) != tt.want[i] {
+					t.Fatalf("result[%d] = %d, want %d", i, binary.BigEndian.Uint64(p.Score), tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestZAddDuplicateIgnored(t *testing.T) {
+	s := New()
+	s.ZAdd([]byte("z"), score(1), []byte("m"))
+	s.ZAdd([]byte("z"), score(1), []byte("m"))
+	if n, _ := s.ZCard([]byte("z")); n != 1 {
+		t.Fatalf("ZCard after duplicate = %d", n)
+	}
+	// Same score, different member: both kept.
+	s.ZAdd([]byte("z"), score(1), []byte("m2"))
+	if n, _ := s.ZCard([]byte("z")); n != 2 {
+		t.Fatalf("ZCard with same-score members = %d", n)
+	}
+}
+
+func TestZRem(t *testing.T) {
+	s := New()
+	s.ZAdd([]byte("z"), score(1), []byte("a"))
+	s.ZAdd([]byte("z"), score(2), []byte("b"))
+	if err := s.ZRem([]byte("z"), score(1), []byte("a")); err != nil {
+		t.Fatalf("ZRem: %v", err)
+	}
+	if n, _ := s.ZCard([]byte("z")); n != 1 {
+		t.Fatalf("ZCard after ZRem = %d", n)
+	}
+	// Removing a missing element is a no-op.
+	if err := s.ZRem([]byte("z"), score(9), []byte("x")); err != nil {
+		t.Fatalf("ZRem(missing): %v", err)
+	}
+}
+
+func TestZSetDelIntegration(t *testing.T) {
+	s := New()
+	s.ZAdd([]byte("z"), score(1), []byte("a"))
+	s.Del([]byte("z"))
+	if n, _ := s.ZCard([]byte("z")); n != 0 {
+		t.Fatalf("ZCard after Del = %d", n)
+	}
+}
+
+func TestZSetPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "z.aof")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ZAdd([]byte("z"), score(3), []byte("c"))
+	s.ZAdd([]byte("z"), score(1), []byte("a"))
+	s.ZAdd([]byte("z"), score(2), []byte("b"))
+	s.ZRem([]byte("z"), score(2), []byte("b"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.ZRangeByScore([]byte("z"), nil, nil, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0].Member) != "a" || string(got[1].Member) != "c" {
+		t.Fatalf("replayed zset = %v", got)
+	}
+}
+
+func TestZSetEqualsReferenceQuick(t *testing.T) {
+	// Property: ZRangeByScore over random adds/removes always matches a
+	// plaintext reference implementation.
+	s := New()
+	type el struct{ score, member uint64 }
+	ref := map[el]bool{}
+	key := []byte("z")
+	f := func(sc, mem uint64, del bool, lo, hi uint16) bool {
+		e := el{sc % 1000, mem % 50}
+		if del {
+			s.ZRem(key, score(e.score), score(e.member))
+			delete(ref, e)
+		} else {
+			s.ZAdd(key, score(e.score), score(e.member))
+			ref[e] = true
+		}
+		loS, hiS := uint64(lo)%1000, uint64(hi)%1000
+		if loS > hiS {
+			loS, hiS = hiS, loS
+		}
+		got, err := s.ZRangeByScore(key, score(loS), score(hiS), true, true)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for e := range ref {
+			if e.score >= loS && e.score <= hiS {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		// Results must be score-ordered.
+		for i := 1; i < len(got); i++ {
+			if string(got[i-1].Score) > string(got[i].Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickCheck(f func(sc, mem uint64, del bool, lo, hi uint16) bool) error {
+	return quick.Check(f, &quick.Config{MaxCount: 300})
+}
+
+func TestZSetClosed(t *testing.T) {
+	s := New()
+	s.Close()
+	if err := s.ZAdd([]byte("z"), score(1), []byte("a")); err != ErrClosed {
+		t.Fatalf("ZAdd after close = %v", err)
+	}
+	if _, err := s.ZRangeByScore([]byte("z"), nil, nil, true, true); err != ErrClosed {
+		t.Fatalf("ZRangeByScore after close = %v", err)
+	}
+}

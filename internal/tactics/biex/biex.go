@@ -1,0 +1,277 @@
+// Package biex implements the two boolean-search tactics of the paper's
+// Table 2 — BIEX-2Lev and BIEX-ZMF (protection class 3, Predicates
+// leakage, adapted from the Clusion constructions; challenge: "Storage
+// impl. complexity").
+//
+// Both variants share the gateway logic; they differ in the cross-keyword
+// structure (pair multimap vs matryoshka filters), which is also the
+// read-efficiency/space trade-off the benchmarks contrast. The tactic
+// spans every boolean-annotated field of a schema: it implements the
+// doc-level SPI (DocInserter/DocDeleter) so cross-field keyword pairs form
+// at insertion time, plus single-keyword equality as a degenerate boolean
+// query.
+package biex
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	ssebiex "datablinder/internal/sse/biex"
+	"datablinder/internal/sse/emm"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Tactic registry names.
+const (
+	Name2Lev = "BIEX-2Lev"
+	NameZMF  = "BIEX-ZMF"
+)
+
+// Service is the cloud RPC service name (both variants share it; payload
+// namespaces disambiguate).
+const Service = "biex"
+
+// RPC payloads.
+type (
+	// InsertArgs delivers a client update batch.
+	InsertArgs struct {
+		Namespace string          `json:"namespace"`
+		Entries   ssebiex.Entries `json:"entries"`
+	}
+	// SearchArgs carries a compiled DNF token.
+	SearchArgs struct {
+		Namespace string              `json:"namespace"`
+		Token     ssebiex.SearchToken `json:"token"`
+	}
+	// SearchReply returns versioned index ids.
+	SearchReply struct {
+		IDs []string `json:"ids"`
+	}
+	// RepackArgs replaces a keyword's global-multimap cells with packed
+	// buckets (the 2Lev static build, run as maintenance).
+	RepackArgs struct {
+		Namespace string      `json:"namespace"`
+		Stale     [][]byte    `json:"stale"`
+		Entries   []emm.Entry `json:"entries"`
+	}
+)
+
+func describe(name string, variant ssebiex.Variant) spi.Descriptor {
+	perf := model.PerfMetrics{
+		Complexity:          "sub-linear: anchor list + per-constraint refinement",
+		RoundTrips:          1,
+		ClientStorage:       "EMM counters + per-doc versions",
+		ServerStorageFactor: 4.0, // pair multimap dominates
+	}
+	challenge := "Storage impl. complexity"
+	if variant == ssebiex.VariantZMF {
+		perf.ServerStorageFactor = 1.6
+		perf.Complexity = "sub-linear: anchor list + filter probes (bounded false positives)"
+	}
+	return spi.Descriptor{
+		Name:      name,
+		Operation: "Boolean Search",
+		Class:     model.Class3,
+		Leakage:   model.LeakPredicates,
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakStructure, Note: "updates land in fresh PRF-addressed cells"},
+			{Op: model.OpEquality, Leakage: model.LeakIdentifiers, Note: "single-keyword query reveals the access pattern"},
+			{Op: model.OpBoolean, Leakage: model.LeakPredicates, Note: "query shape and partial intersection sizes leak"},
+		},
+		Ops: []model.Op{model.OpInsert, model.OpDelete, model.OpEquality, model.OpBoolean},
+		GatewayInterfaces: []string{
+			"Setup", "Insertion", "DocIDGen", "SecureEnc", "Deletion",
+			"BoolQuery", "BoolResolution", "EqQuery",
+		},
+		CloudInterfaces: []string{
+			"Setup", "Insertion", "Deletion", "BoolQuery", "EqQuery",
+		},
+		Perf:      perf,
+		Challenge: challenge,
+		Origin:    spi.OriginAdapted,
+	}
+}
+
+// Tactic is the gateway half of either variant.
+type Tactic struct {
+	binding spi.Binding
+	name    string
+	variant ssebiex.Variant
+	client  *ssebiex.Client
+	ns      string
+}
+
+func newTactic(name string, variant ssebiex.Variant) spi.Factory {
+	return func(b spi.Binding) (spi.Tactic, error) {
+		root, err := b.Keys.Key(keys.Ref{Schema: b.Schema, Field: "*", Tactic: name, Purpose: "root"})
+		if err != nil {
+			return nil, err
+		}
+		client, err := ssebiex.NewClient(root, ssebiex.NewKVState(b.Local), variant)
+		if err != nil {
+			return nil, err
+		}
+		return &Tactic{
+			binding: b,
+			name:    name,
+			variant: variant,
+			client:  client,
+			// Distinct namespaces keep the two variants' indexes and
+			// version counters apart when both serve the same schema.
+			ns: b.Schema + "|" + string(variant),
+		}, nil
+	}
+}
+
+// Registration2Lev registers the pair-multimap variant.
+func Registration2Lev() spi.Registration {
+	return spi.Registration{Descriptor: describe(Name2Lev, ssebiex.Variant2Lev), Factory: newTactic(Name2Lev, ssebiex.Variant2Lev)}
+}
+
+// RegistrationZMF registers the matryoshka-filter variant.
+func RegistrationZMF() spi.Registration {
+	return spi.Registration{Descriptor: describe(NameZMF, ssebiex.VariantZMF), Factory: newTactic(NameZMF, ssebiex.VariantZMF)}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return describe(t.name, t.variant) }
+
+// Setup implements spi.Tactic.
+func (t *Tactic) Setup(context.Context) error { return nil }
+
+func keyword(field string, value any) string {
+	return field + "=" + model.ValueToString(value)
+}
+
+// InsertDoc implements spi.DocInserter.
+func (t *Tactic) InsertDoc(ctx context.Context, docID string, fields map[string]any) error {
+	kws := make([]string, 0, len(fields))
+	for f, v := range fields {
+		kws = append(kws, keyword(f, v))
+	}
+	entries, err := t.client.Insert(t.ns, docID, kws)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "insert",
+		InsertArgs{Namespace: t.ns, Entries: entries}, nil)
+}
+
+// DeleteDoc implements spi.DocDeleter. Deletion is local: the document's
+// index version is superseded.
+func (t *Tactic) DeleteDoc(_ context.Context, docID string, _ map[string]any) error {
+	return t.client.Delete(t.ns, docID)
+}
+
+// SearchBool implements spi.BoolSearcher.
+func (t *Tactic) SearchBool(ctx context.Context, q spi.BoolQuery) ([]string, error) {
+	query := make(ssebiex.Query, 0, len(q))
+	for _, conj := range q {
+		lits := make([]ssebiex.Literal, 0, len(conj))
+		for _, l := range conj {
+			lits = append(lits, ssebiex.Literal{Keyword: keyword(l.Field, l.Value), Negated: l.Negated})
+		}
+		query = append(query, lits)
+	}
+	tok, err := t.client.Token(t.ns, query)
+	if err != nil {
+		return nil, err
+	}
+	var reply SearchReply
+	if err := t.binding.Cloud.Call(ctx, Service, "search",
+		SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
+		return nil, err
+	}
+	return t.client.Resolve(t.ns, reply.IDs)
+}
+
+// SearchEq implements spi.EqSearcher as a single-keyword boolean query.
+func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
+	return t.SearchBool(ctx, spi.BoolQuery{{{Field: field, Value: value}}})
+}
+
+// Compact repacks one keyword's global-multimap list into 2Lev packed
+// buckets: it searches the current list, drops superseded versions, seals
+// the survivors into fixed-capacity buckets, and atomically swaps them in
+// cloud-side. Search cost for the keyword drops from one cell fetch per
+// update to one per BucketCapacity ids. Run it as maintenance on hot
+// keywords (the paper's static 2Lev build, amortized).
+func (t *Tactic) Compact(ctx context.Context, field string, value any) error {
+	w := keyword(field, value)
+	tok, err := t.client.Token(t.ns, ssebiex.Query{{{Keyword: w}}})
+	if err != nil {
+		return err
+	}
+	var reply SearchReply
+	if err := t.binding.Cloud.Call(ctx, Service, "search",
+		SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
+		return err
+	}
+	live, err := t.client.LiveVersioned(t.ns, reply.IDs)
+	if err != nil {
+		return err
+	}
+	entries, stale, err := t.client.RepackGlobal(t.ns, w, live)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "repack",
+		RepackArgs{Namespace: t.ns, Stale: stale, Entries: entries}, nil)
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store. Both
+// variants share the handlers; the namespace in each payload selects the
+// index.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	// Server handles are cached per namespace: the ZMF counting filters
+	// inside carry a mutex that must serialize concurrent updates.
+	var mu sync.Mutex
+	servers := make(map[string]*ssebiex.Server)
+	server := func(ns string) *ssebiex.Server {
+		mu.Lock()
+		defer mu.Unlock()
+		s, ok := servers[ns]
+		if !ok {
+			s = ssebiex.NewServer(store, ns)
+			servers[ns] = s
+		}
+		return s
+	}
+	mux.Handle(Service, "insert", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in InsertArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, server(in.Namespace).Insert(in.Entries)
+	})
+	mux.Handle(Service, "search", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in SearchArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		ids, err := server(in.Namespace).Search(in.Token)
+		if err != nil {
+			return nil, err
+		}
+		return SearchReply{IDs: ids}, nil
+	})
+	mux.Handle(Service, "repack", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in RepackArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, server(in.Namespace).RepackGlobal(in.Stale, in.Entries)
+	})
+}
+
+var (
+	_ spi.DocInserter  = (*Tactic)(nil)
+	_ spi.DocDeleter   = (*Tactic)(nil)
+	_ spi.BoolSearcher = (*Tactic)(nil)
+	_ spi.EqSearcher   = (*Tactic)(nil)
+)

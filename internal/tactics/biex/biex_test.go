@@ -1,0 +1,236 @@
+package biex_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"datablinder/internal/keys"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics/biex"
+	"datablinder/internal/transport"
+)
+
+func instance(t *testing.T, reg spi.Registration) spi.Tactic {
+	t.Helper()
+	mux := transport.NewMux()
+	cloudKV := kvstore.New()
+	t.Cleanup(func() { cloudKV.Close() })
+	biex.RegisterCloud(mux, cloudKV)
+	kp, err := keys.NewRandomStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := reg.Factory(spi.Binding{
+		Schema: "obs", Keys: kp,
+		Cloud: transport.NewLoopback(mux),
+		Local: kvstore.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func variants(t *testing.T, f func(t *testing.T, inst spi.Tactic)) {
+	t.Helper()
+	for _, reg := range []spi.Registration{biex.Registration2Lev(), biex.RegistrationZMF()} {
+		reg := reg
+		t.Run(reg.Descriptor.Name, func(t *testing.T) {
+			f(t, instance(t, reg))
+		})
+	}
+}
+
+func seed(t *testing.T, inst spi.Tactic) {
+	t.Helper()
+	ctx := context.Background()
+	di := inst.(spi.DocInserter)
+	docs := map[string]map[string]any{
+		"d1": {"status": "final", "code": "glucose"},
+		"d2": {"status": "final", "code": "insulin"},
+		"d3": {"status": "draft", "code": "glucose"},
+	}
+	for id, fields := range docs {
+		if err := di.InsertDoc(ctx, id, fields); err != nil {
+			t.Fatalf("InsertDoc(%s): %v", id, err)
+		}
+	}
+}
+
+func TestCrossFieldConjunction(t *testing.T) {
+	variants(t, func(t *testing.T, inst spi.Tactic) {
+		seed(t, inst)
+		ids, err := inst.(spi.BoolSearcher).SearchBool(context.Background(), spi.BoolQuery{{
+			{Field: "status", Value: "final"},
+			{Field: "code", Value: "glucose"},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"d1"}) {
+			t.Fatalf("conjunction = %v", ids)
+		}
+	})
+}
+
+func TestDisjunctionAndNegation(t *testing.T) {
+	variants(t, func(t *testing.T, inst spi.Tactic) {
+		seed(t, inst)
+		ctx := context.Background()
+		bs := inst.(spi.BoolSearcher)
+
+		// draft OR insulin.
+		ids, err := bs.SearchBool(ctx, spi.BoolQuery{
+			{{Field: "status", Value: "draft"}},
+			{{Field: "code", Value: "insulin"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"d2", "d3"}) {
+			t.Fatalf("disjunction = %v", ids)
+		}
+
+		// glucose AND NOT final.
+		ids, err = bs.SearchBool(ctx, spi.BoolQuery{{
+			{Field: "code", Value: "glucose"},
+			{Field: "status", Value: "final", Negated: true},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"d3"}) {
+			t.Fatalf("negation = %v", ids)
+		}
+	})
+}
+
+func TestEqualityDegeneratesToSingleKeyword(t *testing.T) {
+	variants(t, func(t *testing.T, inst spi.Tactic) {
+		seed(t, inst)
+		ids, err := inst.(spi.EqSearcher).SearchEq(context.Background(), "code", "glucose")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"d1", "d3"}) {
+			t.Fatalf("eq = %v", ids)
+		}
+	})
+}
+
+func TestDocDeleteSupersedes(t *testing.T) {
+	variants(t, func(t *testing.T, inst spi.Tactic) {
+		seed(t, inst)
+		ctx := context.Background()
+		if err := inst.(spi.DocDeleter).DeleteDoc(ctx, "d1", nil); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := inst.(spi.EqSearcher).SearchEq(ctx, "code", "glucose")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ids, []string{"d3"}) {
+			t.Fatalf("after delete = %v", ids)
+		}
+		// Re-insert with changed fields: only new keywords match.
+		if err := inst.(spi.DocInserter).InsertDoc(ctx, "d1", map[string]any{
+			"status": "amended", "code": "bmi",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ids, _ = inst.(spi.EqSearcher).SearchEq(ctx, "code", "glucose")
+		if !reflect.DeepEqual(ids, []string{"d3"}) {
+			t.Fatalf("stale keyword after update = %v", ids)
+		}
+		ids, _ = inst.(spi.EqSearcher).SearchEq(ctx, "code", "bmi")
+		if !reflect.DeepEqual(ids, []string{"d1"}) {
+			t.Fatalf("new keyword after update = %v", ids)
+		}
+	})
+}
+
+func TestCompactPreservesResults(t *testing.T) {
+	variants(t, func(t *testing.T, inst spi.Tactic) {
+		ctx := context.Background()
+		di := inst.(spi.DocInserter)
+		// 30 docs under one hot keyword, some deleted before compaction.
+		for i := 0; i < 30; i++ {
+			id := []string{"dA", "dB", "dC"}[i%3] + string(rune('0'+i/3))
+			if err := di.InsertDoc(ctx, id, map[string]any{"code": "glucose"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inst.(spi.DocDeleter).DeleteDoc(ctx, "dA0", nil)
+		inst.(spi.DocDeleter).DeleteDoc(ctx, "dB3", nil)
+
+		before, err := inst.(spi.EqSearcher).SearchEq(ctx, "code", "glucose")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.(*biex.Tactic).Compact(ctx, "code", "glucose"); err != nil {
+			t.Fatalf("Compact: %v", err)
+		}
+		after, err := inst.(spi.EqSearcher).SearchEq(ctx, "code", "glucose")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("Compact changed results: %v -> %v", before, after)
+		}
+		if len(after) != 28 {
+			t.Fatalf("results = %d ids, want 28", len(after))
+		}
+		// Inserts after compaction land in the fresh tail and still match.
+		if err := di.InsertDoc(ctx, "post-compact", map[string]any{"code": "glucose"}); err != nil {
+			t.Fatal(err)
+		}
+		final, _ := inst.(spi.EqSearcher).SearchEq(ctx, "code", "glucose")
+		if len(final) != 29 {
+			t.Fatalf("post-compact insert lost: %d ids", len(final))
+		}
+		// Compacting an idle keyword is harmless.
+		if err := inst.(*biex.Tactic).Compact(ctx, "code", "never-seen"); err != nil {
+			t.Fatalf("Compact(empty): %v", err)
+		}
+	})
+}
+
+func TestVariantsShareCloudWithoutInterference(t *testing.T) {
+	// Both variants on the same schema and cloud store must not collide
+	// (distinct namespaces + distinct derived keys).
+	mux := transport.NewMux()
+	cloudKV := kvstore.New()
+	t.Cleanup(func() { cloudKV.Close() })
+	biex.RegisterCloud(mux, cloudKV)
+	kp, err := keys.NewRandomStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding := spi.Binding{Schema: "obs", Keys: kp, Cloud: transport.NewLoopback(mux), Local: kvstore.New()}
+	i2, err := biex.Registration2Lev().Factory(binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iz, err := biex.RegistrationZMF().Factory(binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := i2.(spi.DocInserter).InsertDoc(ctx, "d1", map[string]any{"f": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	// ZMF variant never saw d1.
+	ids, err := iz.(spi.EqSearcher).SearchEq(ctx, "f", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("variant leakage: %v", ids)
+	}
+	ids, _ = i2.(spi.EqSearcher).SearchEq(ctx, "f", "v")
+	if !reflect.DeepEqual(ids, []string{"d1"}) {
+		t.Fatalf("2Lev lost its entry: %v", ids)
+	}
+}

@@ -1,0 +1,200 @@
+// Package det implements the DET tactic: deterministic encryption for
+// equality search (paper Table 2 — protection class 4, Equalities leakage,
+// implemented from scratch).
+//
+// The gateway deterministically encrypts the field value (SIV mode); the
+// cloud keeps a map from ciphertext to the set of document ids holding that
+// value. Equality search is a single ciphertext lookup — the fastest
+// equality tactic and the weakest of the searchable ones (equal plaintexts
+// are visible as equal ciphertexts even in a snapshot).
+package det
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Name is the tactic's registry name.
+const Name = "DET"
+
+// Service is the cloud RPC service name.
+const Service = "det"
+
+// AddArgs / RemoveArgs / LookupArgs are the cloud RPC payloads.
+type (
+	// AddArgs adds docID under a deterministic ciphertext.
+	AddArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		CT     []byte `json:"ct"`
+		DocID  string `json:"doc_id"`
+	}
+	// RemoveArgs removes docID from a ciphertext's id set.
+	RemoveArgs = AddArgs
+	// LookupArgs fetches the id set of a ciphertext.
+	LookupArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		CT     []byte `json:"ct"`
+	}
+	// LookupReply carries the matching ids.
+	LookupReply struct {
+		DocIDs []string `json:"doc_ids"`
+	}
+)
+
+// Describe returns the tactic's static descriptor.
+func Describe() spi.Descriptor {
+	return spi.Descriptor{
+		Name:      Name,
+		Operation: "Equality Search",
+		Class:     model.Class4,
+		Leakage:   model.LeakEqualities,
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakEqualities, Note: "equal values collide at insert time (snapshot-visible)"},
+			{Op: model.OpEquality, Leakage: model.LeakEqualities, Note: "query token equals the stored ciphertext"},
+		},
+		Ops: []model.Op{model.OpInsert, model.OpEquality},
+		GatewayInterfaces: []string{
+			"Setup", "Insertion", "DocIDGen", "SecureEnc", "Update",
+			"Retrieval", "Deletion", "EqQuery", "EqResolution",
+		},
+		CloudInterfaces: []string{
+			"Setup", "Insertion", "Update", "Retrieval", "Deletion", "EqQuery",
+		},
+		Perf: model.PerfMetrics{
+			Complexity:          "O(1) lookup + O(n_w) result",
+			RoundTrips:          1,
+			ClientStorage:       "none",
+			ServerStorageFactor: 1.2,
+		},
+		Challenge: "-",
+		Origin:    spi.OriginImplemented,
+	}
+}
+
+// Tactic is the gateway half.
+type Tactic struct {
+	binding spi.Binding
+}
+
+// New constructs the gateway half.
+func New(b spi.Binding) (spi.Tactic, error) {
+	return &Tactic{binding: b}, nil
+}
+
+// Registration couples descriptor and factory for the registry.
+func Registration() spi.Registration {
+	return spi.Registration{Descriptor: Describe(), Factory: New}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
+
+// Setup implements spi.Tactic. DET needs no provisioning beyond key
+// derivation, which happens lazily per field.
+func (t *Tactic) Setup(context.Context) error { return nil }
+
+func (t *Tactic) cipher(field string) (*primitives.DET, error) {
+	enc, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
+	if err != nil {
+		return nil, err
+	}
+	mac, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "mac"})
+	if err != nil {
+		return nil, err
+	}
+	return primitives.NewDET(enc, mac)
+}
+
+func (t *Tactic) encrypt(field string, value any) ([]byte, error) {
+	c, err := t.cipher(field)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encrypt([]byte(model.ValueToString(value))), nil
+}
+
+// Insert implements spi.Inserter.
+func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) error {
+	ct, err := t.encrypt(field, value)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "add",
+		AddArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
+}
+
+// Delete implements spi.Deleter.
+func (t *Tactic) Delete(ctx context.Context, field, docID string, value any) error {
+	ct, err := t.encrypt(field, value)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "remove",
+		RemoveArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
+}
+
+// SearchEq implements spi.EqSearcher.
+func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
+	ct, err := t.encrypt(field, value)
+	if err != nil {
+		return nil, err
+	}
+	var reply LookupReply
+	if err := t.binding.Cloud.Call(ctx, Service, "lookup",
+		LookupArgs{Schema: t.binding.Schema, Field: field, CT: ct}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.DocIDs, nil
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	setKey := func(schema, field string, ct []byte) []byte {
+		return append([]byte(fmt.Sprintf("detidx/%s/%s/", schema, field)), ct...)
+	}
+	mux.Handle(Service, "add", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in AddArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.SAdd(setKey(in.Schema, in.Field, in.CT), []byte(in.DocID))
+	})
+	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in RemoveArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.SRem(setKey(in.Schema, in.Field, in.CT), []byte(in.DocID))
+	})
+	mux.Handle(Service, "lookup", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in LookupArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		members, err := store.SMembers(setKey(in.Schema, in.Field, in.CT))
+		if err != nil {
+			return nil, err
+		}
+		reply := LookupReply{DocIDs: make([]string, len(members))}
+		for i, m := range members {
+			reply.DocIDs[i] = string(m)
+		}
+		return reply, nil
+	})
+}
+
+var (
+	_ spi.Inserter   = (*Tactic)(nil)
+	_ spi.Deleter    = (*Tactic)(nil)
+	_ spi.EqSearcher = (*Tactic)(nil)
+)

@@ -1,0 +1,93 @@
+package det_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"datablinder/internal/keys"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics/det"
+	"datablinder/internal/transport"
+)
+
+func setup(t *testing.T) (spi.Tactic, *kvstore.Store) {
+	t.Helper()
+	mux := transport.NewMux()
+	cloudKV := kvstore.New()
+	t.Cleanup(func() { cloudKV.Close() })
+	det.RegisterCloud(mux, cloudKV)
+	kp, err := keys.NewRandomStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := det.New(spi.Binding{
+		Schema: "obs", Keys: kp,
+		Cloud: transport.NewLoopback(mux),
+		Local: kvstore.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, cloudKV
+}
+
+func TestFieldIsolation(t *testing.T) {
+	inst, _ := setup(t)
+	ctx := context.Background()
+	ins := inst.(spi.Inserter)
+	if err := ins.Insert(ctx, "status", "d1", "final"); err != nil {
+		t.Fatal(err)
+	}
+	// The same value under a different field must not match: keys are
+	// derived per field.
+	ids, err := inst.(spi.EqSearcher).SearchEq(ctx, "code", "final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("cross-field match: %v", ids)
+	}
+}
+
+func TestCloudSeesOnlyCiphertext(t *testing.T) {
+	inst, cloudKV := setup(t)
+	ctx := context.Background()
+	if err := inst.(spi.Inserter).Insert(ctx, "diagnosis", "patient-7", "pancreatic-cancer"); err != nil {
+		t.Fatal(err)
+	}
+	keysList, _ := cloudKV.Keys(nil)
+	for _, k := range keysList {
+		if strings.Contains(string(k), "pancreatic-cancer") {
+			t.Fatal("plaintext value leaked into cloud index key")
+		}
+	}
+}
+
+func TestNumericCanonicalization(t *testing.T) {
+	// int and int64 representations of the same number must produce the
+	// same deterministic ciphertext (ValueToString canonicalization).
+	inst, _ := setup(t)
+	ctx := context.Background()
+	if err := inst.(spi.Inserter).Insert(ctx, "n", "d1", int64(42)); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := inst.(spi.EqSearcher).SearchEq(ctx, "n", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("int/int64 canonicalization broken: %v", ids)
+	}
+}
+
+func TestDescriptorMatchesTable2(t *testing.T) {
+	d := det.Describe()
+	if len(d.GatewayInterfaces) != 9 || len(d.CloudInterfaces) != 6 {
+		t.Fatalf("SPI counts = %d/%d, want 9/6", len(d.GatewayInterfaces), len(d.CloudInterfaces))
+	}
+	if d.Challenge != "-" {
+		t.Fatalf("challenge = %q", d.Challenge)
+	}
+}

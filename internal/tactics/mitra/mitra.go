@@ -1,0 +1,183 @@
+// Package mitra implements the Mitra tactic: forward- and backward-private
+// dynamic SSE for equality search (paper Table 2 — protection class 2,
+// Identifiers leakage, implemented from scratch; challenge: "Local
+// storage", because the gateway keeps a counter per keyword).
+package mitra
+
+import (
+	"context"
+	"encoding/json"
+
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	ssemitra "datablinder/internal/sse/mitra"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Name is the tactic's registry name.
+const Name = "Mitra"
+
+// Service is the cloud RPC service name.
+const Service = "mitra"
+
+// RPC payloads.
+type (
+	// InsertArgs delivers encrypted update cells.
+	InsertArgs struct {
+		Schema  string           `json:"schema"`
+		Entries []ssemitra.Entry `json:"entries"`
+	}
+	// SearchArgs carries the per-update cell addresses.
+	SearchArgs struct {
+		Schema string   `json:"schema"`
+		Addrs  [][]byte `json:"addrs"`
+	}
+	// SearchReply returns the cells, position-aligned (nil for misses).
+	SearchReply struct {
+		Vals [][]byte `json:"vals"`
+	}
+)
+
+// Describe returns the tactic's static descriptor.
+func Describe() spi.Descriptor {
+	return spi.Descriptor{
+		Name:      Name,
+		Operation: "Equality Search",
+		Class:     model.Class2,
+		Leakage:   model.LeakIdentifiers,
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakStructure, Note: "forward private: updates are unlinkable to past queries"},
+			{Op: model.OpDelete, Leakage: model.LeakStructure, Note: "backward private: deletions are indistinguishable from additions"},
+			{Op: model.OpEquality, Leakage: model.LeakIdentifiers, Note: "search reveals the access pattern of matching cells"},
+		},
+		Ops: []model.Op{model.OpInsert, model.OpDelete, model.OpEquality},
+		GatewayInterfaces: []string{
+			"Setup", "Insertion", "DocIDGen", "SecureEnc", "Deletion", "EqQuery", "EqResolution",
+		},
+		CloudInterfaces: []string{
+			"Setup", "Insertion", "Deletion", "Retrieval", "EqQuery",
+		},
+		Perf: model.PerfMetrics{
+			Complexity:          "O(u_w) per search (all updates of the keyword)",
+			RoundTrips:          1,
+			ClientStorage:       "one counter per keyword",
+			ServerStorageFactor: 2.5,
+		},
+		Challenge: "Local storage",
+		Origin:    spi.OriginImplemented,
+	}
+}
+
+// Tactic is the gateway half.
+type Tactic struct {
+	binding spi.Binding
+	client  *ssemitra.Client
+}
+
+// New constructs the gateway half; keyword counters persist in the
+// gateway's local store.
+func New(b spi.Binding) (spi.Tactic, error) {
+	key, err := b.Keys.Key(keys.Ref{Schema: b.Schema, Field: "*", Tactic: Name, Purpose: "root"})
+	if err != nil {
+		return nil, err
+	}
+	return &Tactic{
+		binding: b,
+		client:  ssemitra.NewClient(key, ssemitra.NewKVState(b.Local)),
+	}, nil
+}
+
+// Registration couples descriptor and factory for the registry.
+func Registration() spi.Registration {
+	return spi.Registration{Descriptor: Describe(), Factory: New}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
+
+// Setup implements spi.Tactic.
+func (t *Tactic) Setup(context.Context) error { return nil }
+
+func keyword(field string, value any) string {
+	return field + "=" + model.ValueToString(value)
+}
+
+func (t *Tactic) update(ctx context.Context, op ssemitra.Op, field, docID string, value any) error {
+	e, err := t.client.Update(t.binding.Schema, keyword(field, value), op, docID)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "insert",
+		InsertArgs{Schema: t.binding.Schema, Entries: []ssemitra.Entry{e}}, nil)
+}
+
+// Insert implements spi.Inserter.
+func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) error {
+	return t.update(ctx, ssemitra.OpAdd, field, docID, value)
+}
+
+// Delete implements spi.Deleter.
+func (t *Tactic) Delete(ctx context.Context, field, docID string, value any) error {
+	return t.update(ctx, ssemitra.OpDel, field, docID, value)
+}
+
+// SearchEq implements spi.EqSearcher.
+func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
+	w := keyword(field, value)
+	req, err := t.client.SearchRequest(t.binding.Schema, w)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Addrs) == 0 {
+		return nil, nil
+	}
+	var reply SearchReply
+	if err := t.binding.Cloud.Call(ctx, Service, "search",
+		SearchArgs{Schema: t.binding.Schema, Addrs: req.Addrs}, &reply); err != nil {
+		return nil, err
+	}
+	return t.client.Resolve(t.binding.Schema, w, reply.Vals)
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	servers := newServerCache(store)
+	mux.Handle(Service, "insert", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in InsertArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, servers.get(in.Schema).Insert(in.Entries)
+	})
+	mux.Handle(Service, "search", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in SearchArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		vals, err := servers.get(in.Schema).Search(ssemitra.SearchRequest{Addrs: in.Addrs})
+		if err != nil {
+			return nil, err
+		}
+		return SearchReply{Vals: vals}, nil
+	})
+}
+
+// serverCache memoizes per-schema server handles (they are just namespace
+// wrappers over the shared store).
+type serverCache struct {
+	store *kvstore.Store
+}
+
+func newServerCache(store *kvstore.Store) *serverCache { return &serverCache{store: store} }
+
+func (c *serverCache) get(schema string) *ssemitra.Server {
+	return ssemitra.NewServer(c.store, schema)
+}
+
+var (
+	_ spi.Inserter   = (*Tactic)(nil)
+	_ spi.Deleter    = (*Tactic)(nil)
+	_ spi.EqSearcher = (*Tactic)(nil)
+)

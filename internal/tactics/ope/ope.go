@@ -1,0 +1,231 @@
+// Package ope implements the OPE tactic: order-preserving encryption for
+// range queries (paper Table 2 — protection class 5, Order leakage,
+// adapted construction; 3 gateway + 3 cloud interfaces).
+//
+// Ciphertexts are order-preserving fixed-width byte strings, so the cloud
+// answers range queries with a plain sorted-index scan (a kvstore sorted
+// set) — logarithmic seek plus result-size output, the read-efficient end
+// of the range-tactic spectrum (contrast with ORE's linear scan).
+package ope
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	cryptoope "datablinder/internal/crypto/ope"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Name is the tactic's registry name.
+const Name = "OPE"
+
+// Service is the cloud RPC service name.
+const Service = "ope"
+
+// RPC payloads.
+type (
+	// AddArgs indexes (ciphertext, doc).
+	AddArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		CT     []byte `json:"ct"`
+		DocID  string `json:"doc_id"`
+	}
+	// RemoveArgs drops (ciphertext, doc).
+	RemoveArgs = AddArgs
+	// QueryArgs asks for ids with ciphertexts in [Lo, Hi] (nil = open).
+	QueryArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		Lo     []byte `json:"lo,omitempty"`
+		Hi     []byte `json:"hi,omitempty"`
+		LoInc  bool   `json:"lo_inc"`
+		HiInc  bool   `json:"hi_inc"`
+	}
+	// QueryReply carries matching ids in ciphertext order.
+	QueryReply struct {
+		DocIDs []string `json:"doc_ids"`
+	}
+)
+
+// Describe returns the tactic's static descriptor.
+func Describe() spi.Descriptor {
+	return spi.Descriptor{
+		Name:      Name,
+		Operation: "Range Query",
+		Class:     model.Class5,
+		Leakage:   model.LeakOrder,
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakOrder, Note: "ciphertext order equals plaintext order at rest"},
+			{Op: model.OpRange, Leakage: model.LeakOrder, Note: "range bounds and result order leak"},
+		},
+		Ops:               []model.Op{model.OpInsert, model.OpDelete, model.OpRange},
+		NumericOnly:       true,
+		GatewayInterfaces: []string{"Setup", "Insertion", "RangeQuery"},
+		CloudInterfaces:   []string{"Setup", "Insertion", "RangeQuery"},
+		Perf: model.PerfMetrics{
+			Complexity:          "O(log N + n) sorted-index range scan",
+			RoundTrips:          1,
+			ClientStorage:       "none",
+			ServerStorageFactor: 1.1,
+		},
+		Challenge: "-",
+		Origin:    spi.OriginAdapted,
+	}
+}
+
+// Tactic is the gateway half.
+type Tactic struct {
+	binding spi.Binding
+}
+
+// New constructs the gateway half.
+func New(b spi.Binding) (spi.Tactic, error) {
+	return &Tactic{binding: b}, nil
+}
+
+// Registration couples descriptor and factory for the registry.
+func Registration() spi.Registration {
+	return spi.Registration{Descriptor: Describe(), Factory: New}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
+
+// Setup implements spi.Tactic.
+func (t *Tactic) Setup(context.Context) error { return nil }
+
+func (t *Tactic) cipher(field string) (*cryptoope.Cipher, error) {
+	k, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
+	if err != nil {
+		return nil, err
+	}
+	return cryptoope.New(k), nil
+}
+
+// fieldType resolves the field's numeric type for order encoding: the
+// engine passes int64 for int fields and float64 for float fields; raw Go
+// ints may arrive from examples.
+func fieldType(value any) (model.FieldType, error) {
+	switch value.(type) {
+	case int, int64:
+		return model.TypeInt, nil
+	case float64:
+		return model.TypeFloat, nil
+	default:
+		return "", fmt.Errorf("ope: value %v (%T) is not numeric", value, value)
+	}
+}
+
+func (t *Tactic) encrypt(field string, value any) ([]byte, error) {
+	ft, err := fieldType(value)
+	if err != nil {
+		return nil, err
+	}
+	u, err := model.OrderedUint64(value, ft)
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.cipher(field)
+	if err != nil {
+		return nil, err
+	}
+	return c.EncryptUint64(u), nil
+}
+
+// Insert implements spi.Inserter.
+func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) error {
+	ct, err := t.encrypt(field, value)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "add",
+		AddArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
+}
+
+// Delete implements spi.Deleter.
+func (t *Tactic) Delete(ctx context.Context, field, docID string, value any) error {
+	ct, err := t.encrypt(field, value)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "remove",
+		RemoveArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
+}
+
+// SearchRange implements spi.RangeSearcher.
+func (t *Tactic) SearchRange(ctx context.Context, field string, lo, hi any, loInc, hiInc bool) ([]string, error) {
+	args := QueryArgs{Schema: t.binding.Schema, Field: field, LoInc: loInc, HiInc: hiInc}
+	if lo != nil {
+		ct, err := t.encrypt(field, lo)
+		if err != nil {
+			return nil, err
+		}
+		args.Lo = ct
+	}
+	if hi != nil {
+		ct, err := t.encrypt(field, hi)
+		if err != nil {
+			return nil, err
+		}
+		args.Hi = ct
+	}
+	var reply QueryReply
+	if err := t.binding.Cloud.Call(ctx, Service, "query", args, &reply); err != nil {
+		return nil, err
+	}
+	return reply.DocIDs, nil
+}
+
+// SearchEq implements spi.EqSearcher as a degenerate closed range.
+func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
+	return t.SearchRange(ctx, field, value, value, true, true)
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	idxKey := func(schema, field string) []byte {
+		return []byte(fmt.Sprintf("opeidx/%s/%s", schema, field))
+	}
+	mux.Handle(Service, "add", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in AddArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.ZAdd(idxKey(in.Schema, in.Field), in.CT, []byte(in.DocID))
+	})
+	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in RemoveArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.ZRem(idxKey(in.Schema, in.Field), in.CT, []byte(in.DocID))
+	})
+	mux.Handle(Service, "query", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in QueryArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		pairs, err := store.ZRangeByScore(idxKey(in.Schema, in.Field), in.Lo, in.Hi, in.LoInc, in.HiInc)
+		if err != nil {
+			return nil, err
+		}
+		reply := QueryReply{DocIDs: make([]string, len(pairs))}
+		for i, p := range pairs {
+			reply.DocIDs[i] = string(p.Member)
+		}
+		return reply, nil
+	})
+}
+
+var (
+	_ spi.Inserter      = (*Tactic)(nil)
+	_ spi.Deleter       = (*Tactic)(nil)
+	_ spi.RangeSearcher = (*Tactic)(nil)
+	_ spi.EqSearcher    = (*Tactic)(nil)
+)

@@ -1,0 +1,244 @@
+// Package ore implements the ORE tactic: order-revealing encryption for
+// range queries (paper Table 2 — protection class 5, Order leakage,
+// adapted from the FastORE construction; 3 gateway + 3 cloud interfaces).
+//
+// Unlike OPE, stored ciphertexts are not ordered numbers: order is only
+// revealed through a comparison algorithm. The cloud therefore evaluates
+// range predicates by a linear scan with the public Compare function over
+// the field column — the storage-friendly but read-heavier end of the
+// range-tactic spectrum (the OPE-vs-ORE ablation benchmark contrasts the
+// two).
+package ore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	cryptoore "datablinder/internal/crypto/ore"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Name is the tactic's registry name.
+const Name = "ORE"
+
+// Service is the cloud RPC service name.
+const Service = "ore"
+
+// RPC payloads.
+type (
+	// AddArgs indexes (ciphertext, doc).
+	AddArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		CT     []byte `json:"ct"`
+		DocID  string `json:"doc_id"`
+	}
+	// RemoveArgs drops a doc from the column.
+	RemoveArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		DocID  string `json:"doc_id"`
+	}
+	// QueryArgs asks for ids whose ciphertext compares within [Lo, Hi].
+	QueryArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		Lo     []byte `json:"lo,omitempty"`
+		Hi     []byte `json:"hi,omitempty"`
+		LoInc  bool   `json:"lo_inc"`
+		HiInc  bool   `json:"hi_inc"`
+	}
+	// QueryReply carries matching ids.
+	QueryReply struct {
+		DocIDs []string `json:"doc_ids"`
+	}
+)
+
+// Describe returns the tactic's static descriptor.
+func Describe() spi.Descriptor {
+	return spi.Descriptor{
+		Name:      Name,
+		Operation: "Range Query",
+		Class:     model.Class5,
+		Leakage:   model.LeakOrder,
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakEqualities, Note: "ciphertexts are deterministic; order needs the compare algorithm"},
+			{Op: model.OpRange, Leakage: model.LeakOrder, Note: "comparisons reveal order and first differing bit"},
+		},
+		Ops:               []model.Op{model.OpInsert, model.OpDelete, model.OpRange},
+		NumericOnly:       true,
+		GatewayInterfaces: []string{"Setup", "Insertion", "RangeQuery"},
+		CloudInterfaces:   []string{"Setup", "Insertion", "RangeQuery"},
+		Perf: model.PerfMetrics{
+			Complexity:          "O(N) compare scan",
+			RoundTrips:          1,
+			ClientStorage:       "none",
+			ServerStorageFactor: 1.5,
+		},
+		Challenge: "-",
+		Origin:    spi.OriginAdapted,
+	}
+}
+
+// Tactic is the gateway half.
+type Tactic struct {
+	binding spi.Binding
+}
+
+// New constructs the gateway half.
+func New(b spi.Binding) (spi.Tactic, error) {
+	return &Tactic{binding: b}, nil
+}
+
+// Registration couples descriptor and factory for the registry.
+func Registration() spi.Registration {
+	return spi.Registration{Descriptor: Describe(), Factory: New}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
+
+// Setup implements spi.Tactic.
+func (t *Tactic) Setup(context.Context) error { return nil }
+
+func (t *Tactic) encrypt(field string, value any) ([]byte, error) {
+	var ft model.FieldType
+	switch value.(type) {
+	case int, int64:
+		ft = model.TypeInt
+	case float64:
+		ft = model.TypeFloat
+	default:
+		return nil, fmt.Errorf("ore: value %v (%T) is not numeric", value, value)
+	}
+	u, err := model.OrderedUint64(value, ft)
+	if err != nil {
+		return nil, err
+	}
+	k, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
+	if err != nil {
+		return nil, err
+	}
+	return cryptoore.New(k).EncryptUint64(u), nil
+}
+
+// Insert implements spi.Inserter.
+func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) error {
+	ct, err := t.encrypt(field, value)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "add",
+		AddArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
+}
+
+// Delete implements spi.Deleter.
+func (t *Tactic) Delete(ctx context.Context, field, docID string, _ any) error {
+	return t.binding.Cloud.Call(ctx, Service, "remove",
+		RemoveArgs{Schema: t.binding.Schema, Field: field, DocID: docID}, nil)
+}
+
+// SearchRange implements spi.RangeSearcher.
+func (t *Tactic) SearchRange(ctx context.Context, field string, lo, hi any, loInc, hiInc bool) ([]string, error) {
+	args := QueryArgs{Schema: t.binding.Schema, Field: field, LoInc: loInc, HiInc: hiInc}
+	if lo != nil {
+		ct, err := t.encrypt(field, lo)
+		if err != nil {
+			return nil, err
+		}
+		args.Lo = ct
+	}
+	if hi != nil {
+		ct, err := t.encrypt(field, hi)
+		if err != nil {
+			return nil, err
+		}
+		args.Hi = ct
+	}
+	var reply QueryReply
+	if err := t.binding.Cloud.Call(ctx, Service, "query", args, &reply); err != nil {
+		return nil, err
+	}
+	return reply.DocIDs, nil
+}
+
+// SearchEq implements spi.EqSearcher as a degenerate closed range.
+func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
+	return t.SearchRange(ctx, field, value, value, true, true)
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store. The
+// column lives in a hash (doc id → ciphertext); queries scan it with the
+// public ORE comparison.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	colKey := func(schema, field string) []byte {
+		return []byte(fmt.Sprintf("oreidx/%s/%s", schema, field))
+	}
+	mux.Handle(Service, "add", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in AddArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.HSet(colKey(in.Schema, in.Field), []byte(in.DocID), in.CT)
+	})
+	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in RemoveArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.HDel(colKey(in.Schema, in.Field), []byte(in.DocID))
+	})
+	mux.Handle(Service, "query", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in QueryArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		key := colKey(in.Schema, in.Field)
+		docs, err := store.HFields(key)
+		if err != nil {
+			return nil, err
+		}
+		var reply QueryReply
+		for _, d := range docs {
+			ct, ok, err := store.HGet(key, d)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if in.Lo != nil {
+				c, err := cryptoore.Compare(ct, in.Lo)
+				if err != nil {
+					return nil, err
+				}
+				if c < 0 || (c == 0 && !in.LoInc) {
+					continue
+				}
+			}
+			if in.Hi != nil {
+				c, err := cryptoore.Compare(ct, in.Hi)
+				if err != nil {
+					return nil, err
+				}
+				if c > 0 || (c == 0 && !in.HiInc) {
+					continue
+				}
+			}
+			reply.DocIDs = append(reply.DocIDs, string(d))
+		}
+		return reply, nil
+	})
+}
+
+var (
+	_ spi.Inserter      = (*Tactic)(nil)
+	_ spi.Deleter       = (*Tactic)(nil)
+	_ spi.RangeSearcher = (*Tactic)(nil)
+	_ spi.EqSearcher    = (*Tactic)(nil)
+)

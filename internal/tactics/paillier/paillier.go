@@ -1,0 +1,332 @@
+// Package paillier implements the Sum and Average aggregate tactics over
+// the Paillier partially homomorphic cryptosystem (paper Table 2 — no
+// protection class or leakage row, because the ciphertext column is never
+// searched; challenge: "Key management"; adapted from the Javallier-style
+// integration).
+//
+// Each numeric field value is encrypted under the gateway's Paillier
+// public key and shipped to the cloud. Aggregation multiplies ciphertexts
+// cloud-side (homomorphic addition); only the final sum travels back and
+// is decrypted at the gateway, which also divides by the count for
+// averages (the AggFunctionResolution interface).
+package paillier
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"sync"
+
+	cryptopaillier "datablinder/internal/crypto/paillier"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Name is the tactic's registry name.
+const Name = "Paillier"
+
+// Service is the cloud RPC service name.
+const Service = "agg"
+
+// KeyBits is the Paillier modulus size. 1024 bits keeps the ~50k-call
+// benchmark workloads tractable while exercising the full protocol; raise
+// to 2048+ for production deployments.
+const KeyBits = 1024
+
+// RPC payloads.
+type (
+	// SetupArgs ships the Paillier public key (modulus) to the cloud.
+	SetupArgs struct {
+		Schema string `json:"schema"`
+		N      []byte `json:"n"`
+	}
+	// PutArgs stores a field ciphertext for a document.
+	PutArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		DocID  string `json:"doc_id"`
+		CT     []byte `json:"ct"`
+	}
+	// RemoveArgs drops a document's field ciphertext.
+	RemoveArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		DocID  string `json:"doc_id"`
+	}
+	// SumArgs requests the homomorphic sum over the given documents.
+	SumArgs struct {
+		Schema string   `json:"schema"`
+		Field  string   `json:"field"`
+		DocIDs []string `json:"doc_ids"`
+	}
+	// SumReply returns the encrypted sum and how many ciphertexts
+	// contributed (documents lacking the field are skipped).
+	SumReply struct {
+		CT    []byte `json:"ct"`
+		Count int    `json:"count"`
+	}
+)
+
+// serializedKey is the gateway-store representation of the private key.
+type serializedKey struct {
+	N      []byte `json:"n"`
+	Lambda []byte `json:"lambda"`
+	Mu     []byte `json:"mu"`
+}
+
+// Describe returns the tactic's static descriptor. Class and Leakage are
+// zero: Table 2 marks them "-" — the aggregate column is never queried by
+// value.
+func Describe() spi.Descriptor {
+	return spi.Descriptor{
+		Name:      Name,
+		Operation: "Sum / Average",
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakStructure, Note: "probabilistic ciphertexts; only column size leaks"},
+		},
+		Ops:               []model.Op{model.OpInsert, model.OpDelete},
+		Aggs:              []model.Agg{model.AggSum, model.AggAvg},
+		NumericOnly:       true,
+		GatewayInterfaces: []string{"Setup", "Insertion", "AggFunctionResolution"},
+		CloudInterfaces:   []string{"Setup", "Insertion", "AggFunction"},
+		Perf: model.PerfMetrics{
+			Complexity:          "O(n) modular multiplications cloud-side; one decryption gateway-side",
+			RoundTrips:          1,
+			ClientStorage:       "Paillier private key",
+			ServerStorageFactor: 8.0, // 2048-bit ciphertexts per numeric value
+		},
+		Challenge: "Key management",
+		Origin:    spi.OriginAdapted,
+	}
+}
+
+// Tactic is the gateway half.
+type Tactic struct {
+	binding spi.Binding
+
+	mu sync.Mutex
+	sk *cryptopaillier.PrivateKey
+}
+
+// New constructs the gateway half. Call Setup before use.
+func New(b spi.Binding) (spi.Tactic, error) {
+	return &Tactic{binding: b}, nil
+}
+
+// Registration couples descriptor and factory for the registry.
+func Registration() spi.Registration {
+	return spi.Registration{Descriptor: Describe(), Factory: New}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
+
+func (t *Tactic) skKey() []byte { return []byte("paillierkey/" + t.binding.Schema) }
+
+// Setup implements spi.Tactic: load or generate the key pair, persist it,
+// and register the public key with the cloud. Idempotent.
+func (t *Tactic) Setup(ctx context.Context) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sk != nil {
+		return nil
+	}
+	raw, ok, err := t.binding.Local.Get(t.skKey())
+	if err != nil {
+		return fmt.Errorf("paillier: loading key: %w", err)
+	}
+	var sk *cryptopaillier.PrivateKey
+	if ok {
+		var ser serializedKey
+		if err := json.Unmarshal(raw, &ser); err != nil {
+			return fmt.Errorf("paillier: decoding stored key: %w", err)
+		}
+		n := new(big.Int).SetBytes(ser.N)
+		sk = &cryptopaillier.PrivateKey{
+			PublicKey: cryptopaillier.PublicKey{
+				N:  n,
+				G:  new(big.Int).Add(n, big.NewInt(1)),
+				N2: new(big.Int).Mul(n, n),
+			},
+			Lambda: new(big.Int).SetBytes(ser.Lambda),
+			Mu:     new(big.Int).SetBytes(ser.Mu),
+		}
+	} else {
+		sk, err = cryptopaillier.GenerateKey(KeyBits)
+		if err != nil {
+			return err
+		}
+		ser, err := json.Marshal(serializedKey{
+			N: sk.N.Bytes(), Lambda: sk.Lambda.Bytes(), Mu: sk.Mu.Bytes(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := t.binding.Local.Set(t.skKey(), ser); err != nil {
+			return fmt.Errorf("paillier: persisting key: %w", err)
+		}
+	}
+	if err := t.binding.Cloud.Call(ctx, Service, "setup",
+		SetupArgs{Schema: t.binding.Schema, N: sk.PublicKey.Bytes()}, nil); err != nil {
+		return fmt.Errorf("paillier: registering public key: %w", err)
+	}
+	t.sk = sk
+	return nil
+}
+
+func (t *Tactic) key() (*cryptopaillier.PrivateKey, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sk == nil {
+		return nil, fmt.Errorf("paillier: Setup has not run")
+	}
+	return t.sk, nil
+}
+
+// Insert implements spi.Inserter.
+func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) error {
+	sk, err := t.key()
+	if err != nil {
+		return err
+	}
+	var ft model.FieldType
+	switch value.(type) {
+	case int, int64:
+		ft = model.TypeInt
+	case float64:
+		ft = model.TypeFloat
+	default:
+		return fmt.Errorf("paillier: value %v (%T) is not numeric", value, value)
+	}
+	fp, err := model.ToFixedPoint(value, ft)
+	if err != nil {
+		return err
+	}
+	ct, err := sk.EncryptInt64(fp)
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "put",
+		PutArgs{Schema: t.binding.Schema, Field: field, DocID: docID, CT: ct.Bytes()}, nil)
+}
+
+// Delete implements spi.Deleter.
+func (t *Tactic) Delete(ctx context.Context, field, docID string, _ any) error {
+	return t.binding.Cloud.Call(ctx, Service, "remove",
+		RemoveArgs{Schema: t.binding.Schema, Field: field, DocID: docID}, nil)
+}
+
+// Aggregate implements spi.Aggregator for sum and avg.
+func (t *Tactic) Aggregate(ctx context.Context, field string, agg model.Agg, docIDs []string) (float64, error) {
+	sk, err := t.key()
+	if err != nil {
+		return 0, err
+	}
+	if len(docIDs) == 0 {
+		return 0, nil
+	}
+	var reply SumReply
+	if err := t.binding.Cloud.Call(ctx, Service, "sum",
+		SumArgs{Schema: t.binding.Schema, Field: field, DocIDs: docIDs}, &reply); err != nil {
+		return 0, err
+	}
+	ct, err := cryptopaillier.CiphertextFromBytes(&sk.PublicKey, reply.CT)
+	if err != nil {
+		return 0, err
+	}
+	total, err := sk.DecryptInt64(ct)
+	if err != nil {
+		return 0, err
+	}
+	sum := model.FromFixedPoint(total)
+	switch agg {
+	case model.AggSum:
+		return sum, nil
+	case model.AggAvg:
+		if reply.Count == 0 {
+			return 0, nil
+		}
+		return sum / float64(reply.Count), nil
+	default:
+		return 0, fmt.Errorf("paillier: unsupported aggregate %q", string(agg))
+	}
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	pkKey := func(schema string) []byte { return []byte("aggpk/" + schema) }
+	colKey := func(schema, field string) []byte {
+		return []byte(fmt.Sprintf("aggidx/%s/%s", schema, field))
+	}
+	mux.Handle(Service, "setup", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in SetupArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.Set(pkKey(in.Schema), in.N)
+	})
+	mux.Handle(Service, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in PutArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.HSet(colKey(in.Schema, in.Field), []byte(in.DocID), in.CT)
+	})
+	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in RemoveArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.HDel(colKey(in.Schema, in.Field), []byte(in.DocID))
+	})
+	mux.Handle(Service, "sum", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in SumArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		nBytes, ok, err := store.Get(pkKey(in.Schema))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("paillier: schema %q has no registered public key", in.Schema)
+		}
+		pk, err := cryptopaillier.PublicKeyFromN(nBytes)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := pk.EncryptZero()
+		if err != nil {
+			return nil, err
+		}
+		count := 0
+		for _, docID := range in.DocIDs {
+			raw, ok, err := store.HGet(colKey(in.Schema, in.Field), []byte(docID))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue // document lacks this field
+			}
+			ct, err := cryptopaillier.CiphertextFromBytes(pk, raw)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = cryptopaillier.Add(acc, ct)
+			if err != nil {
+				return nil, err
+			}
+			count++
+		}
+		return SumReply{CT: acc.Bytes(), Count: count}, nil
+	})
+}
+
+var (
+	_ spi.Inserter   = (*Tactic)(nil)
+	_ spi.Deleter    = (*Tactic)(nil)
+	_ spi.Aggregator = (*Tactic)(nil)
+)

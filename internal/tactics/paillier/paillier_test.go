@@ -1,0 +1,201 @@
+package paillier_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics/paillier"
+	"datablinder/internal/transport"
+)
+
+type env struct {
+	binding spi.Binding
+	cloudKV *kvstore.Store
+}
+
+func newEnv(t *testing.T) env {
+	t.Helper()
+	mux := transport.NewMux()
+	cloudKV := kvstore.New()
+	t.Cleanup(func() { cloudKV.Close() })
+	paillier.RegisterCloud(mux, cloudKV)
+	kp, err := keys.NewRandomStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := kvstore.New()
+	t.Cleanup(func() { local.Close() })
+	return env{
+		binding: spi.Binding{Schema: "obs", Keys: kp, Cloud: transport.NewLoopback(mux), Local: local},
+		cloudKV: cloudKV,
+	}
+}
+
+func instance(t *testing.T, e env) spi.Tactic {
+	t.Helper()
+	inst, err := paillier.New(e.binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Setup(context.Background()); err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	return inst
+}
+
+func TestSumAndAverage(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	ctx := context.Background()
+	ins := inst.(spi.Inserter)
+	agg := inst.(spi.Aggregator)
+
+	values := map[string]float64{"d1": 6.3, "d2": 5.1, "d3": 7.9}
+	var ids []string
+	var sum float64
+	for id, v := range values {
+		if err := ins.Insert(ctx, "value", id, v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		sum += v
+	}
+	got, err := agg.Aggregate(ctx, "value", model.AggSum, ids)
+	if err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	if math.Abs(got-sum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", got, sum)
+	}
+	got, err = agg.Aggregate(ctx, "value", model.AggAvg, ids)
+	if err != nil {
+		t.Fatalf("avg: %v", err)
+	}
+	if math.Abs(got-sum/3) > 1e-6 {
+		t.Fatalf("avg = %g, want %g", got, sum/3)
+	}
+}
+
+func TestNegativeAndIntValues(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	ctx := context.Background()
+	ins := inst.(spi.Inserter)
+	if err := ins.Insert(ctx, "v", "d1", int64(-50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Insert(ctx, "v", "d2", 30); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.(spi.Aggregator).Aggregate(ctx, "v", model.AggSum, []string{"d1", "d2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-20)) > 1e-6 {
+		t.Fatalf("sum = %g, want -20", got)
+	}
+}
+
+func TestMissingDocsSkipped(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	ctx := context.Background()
+	if err := inst.(spi.Inserter).Insert(ctx, "v", "d1", 10.0); err != nil {
+		t.Fatal(err)
+	}
+	// d2 never inserted: the average must divide by the count of present
+	// ciphertexts, not the requested ids.
+	got, err := inst.(spi.Aggregator).Aggregate(ctx, "v", model.AggAvg, []string{"d1", "d2", "d3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-6 {
+		t.Fatalf("avg with misses = %g, want 10", got)
+	}
+}
+
+func TestEmptyAggregate(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	got, err := inst.(spi.Aggregator).Aggregate(context.Background(), "v", model.AggSum, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("empty sum = %g, %v", got, err)
+	}
+}
+
+func TestDeleteRemovesCiphertext(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	ctx := context.Background()
+	inst.(spi.Inserter).Insert(ctx, "v", "d1", 10.0)
+	inst.(spi.Inserter).Insert(ctx, "v", "d2", 20.0)
+	if err := inst.(spi.Deleter).Delete(ctx, "v", "d1", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.(spi.Aggregator).Aggregate(ctx, "v", model.AggSum, []string{"d1", "d2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 1e-6 {
+		t.Fatalf("sum after delete = %g", got)
+	}
+}
+
+func TestKeyPersistsAcrossInstances(t *testing.T) {
+	// A restarted gateway must decrypt sums over ciphertexts produced by
+	// the previous instance (the Paillier key is persisted locally).
+	e := newEnv(t)
+	ctx := context.Background()
+	inst1 := instance(t, e)
+	if err := inst1.(spi.Inserter).Insert(ctx, "v", "d1", 42.0); err != nil {
+		t.Fatal(err)
+	}
+	inst2 := instance(t, e)
+	got, err := inst2.(spi.Aggregator).Aggregate(ctx, "v", model.AggSum, []string{"d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-42) > 1e-6 {
+		t.Fatalf("sum across restart = %g", got)
+	}
+}
+
+func TestRejectsNonNumeric(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	if err := inst.(spi.Inserter).Insert(context.Background(), "v", "d1", "not a number"); err == nil {
+		t.Fatal("string value accepted")
+	}
+}
+
+func TestSetupRequired(t *testing.T) {
+	e := newEnv(t)
+	inst, err := paillier.New(e.binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.(spi.Inserter).Insert(context.Background(), "v", "d1", 1.0); err == nil {
+		t.Fatal("Insert before Setup succeeded")
+	}
+}
+
+func TestFixedPointPrecision(t *testing.T) {
+	e := newEnv(t)
+	inst := instance(t, e)
+	ctx := context.Background()
+	// Six decimal places survive the fixed-point encoding.
+	inst.(spi.Inserter).Insert(ctx, "v", "d1", 0.000001)
+	inst.(spi.Inserter).Insert(ctx, "v", "d2", 0.000002)
+	got, err := inst.(spi.Aggregator).Aggregate(ctx, "v", model.AggSum, []string{"d1", "d2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.000003) > 1e-9 {
+		t.Fatalf("precision lost: %g", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package rnd implements the RND tactic: probabilistic (random-IV)
+// encryption, the strongest protection level in the catalog (paper Table 2
+// — protection class 1, Structure leakage, implemented from scratch).
+//
+// Nothing about the value is searchable server-side; the cloud stores an
+// opaque AEAD ciphertext per (field, document). Equality search is still
+// offered — by exhaustively streaming every ciphertext of the field to the
+// gateway and filtering after decryption — which is exactly the
+// "Inefficiency" challenge the paper's Table 2 notes for RND.
+package rnd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/transport"
+)
+
+// Name is the tactic's registry name.
+const Name = "RND"
+
+// Service is the cloud RPC service name.
+const Service = "rnd"
+
+// RPC payloads.
+type (
+	// PutArgs stores a ciphertext for (field, doc).
+	PutArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		DocID  string `json:"doc_id"`
+		CT     []byte `json:"ct"`
+	}
+	// RemoveArgs drops the ciphertext of (field, doc).
+	RemoveArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+		DocID  string `json:"doc_id"`
+	}
+	// ScanArgs streams every ciphertext of a field.
+	ScanArgs struct {
+		Schema string `json:"schema"`
+		Field  string `json:"field"`
+	}
+	// ScanItem is one (doc, ciphertext) pair.
+	ScanItem struct {
+		DocID string `json:"doc_id"`
+		CT    []byte `json:"ct"`
+	}
+	// ScanReply carries the full field column.
+	ScanReply struct {
+		Items []ScanItem `json:"items"`
+	}
+)
+
+// Describe returns the tactic's static descriptor.
+func Describe() spi.Descriptor {
+	return spi.Descriptor{
+		Name:      Name,
+		Operation: "Equality Search",
+		Class:     model.Class1,
+		Leakage:   model.LeakStructure,
+		OpLeakage: []model.OpLeakage{
+			{Op: model.OpInsert, Leakage: model.LeakStructure, Note: "only column size grows"},
+			{Op: model.OpEquality, Leakage: model.LeakStructure, Note: "server sees a full-column scan regardless of the predicate"},
+		},
+		Ops: []model.Op{model.OpInsert, model.OpEquality},
+		GatewayInterfaces: []string{
+			"Setup", "Insertion", "SecureEnc", "Retrieval", "EqQuery", "EqResolution",
+		},
+		CloudInterfaces: []string{
+			"Setup", "Insertion", "Retrieval", "EqQuery",
+		},
+		Perf: model.PerfMetrics{
+			Complexity:          "O(N) exhaustive scan",
+			RoundTrips:          1,
+			ClientStorage:       "none",
+			ServerStorageFactor: 1.3,
+		},
+		Challenge: "Inefficiency",
+		Origin:    spi.OriginImplemented,
+	}
+}
+
+// Tactic is the gateway half.
+type Tactic struct {
+	binding spi.Binding
+}
+
+// New constructs the gateway half.
+func New(b spi.Binding) (spi.Tactic, error) {
+	return &Tactic{binding: b}, nil
+}
+
+// Registration couples descriptor and factory for the registry.
+func Registration() spi.Registration {
+	return spi.Registration{Descriptor: Describe(), Factory: New}
+}
+
+// Descriptor implements spi.Tactic.
+func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
+
+// Setup implements spi.Tactic.
+func (t *Tactic) Setup(context.Context) error { return nil }
+
+func (t *Tactic) aead(field string) (*primitives.AEAD, error) {
+	k, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
+	if err != nil {
+		return nil, err
+	}
+	return primitives.NewAEAD(k)
+}
+
+// Insert implements spi.Inserter.
+func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) error {
+	aead, err := t.aead(field)
+	if err != nil {
+		return err
+	}
+	ct, err := aead.Seal([]byte(model.ValueToString(value)), []byte(docID))
+	if err != nil {
+		return err
+	}
+	return t.binding.Cloud.Call(ctx, Service, "put",
+		PutArgs{Schema: t.binding.Schema, Field: field, DocID: docID, CT: ct}, nil)
+}
+
+// Delete implements spi.Deleter. The old value is not needed: the cloud
+// column is keyed by document id.
+func (t *Tactic) Delete(ctx context.Context, field, docID string, _ any) error {
+	return t.binding.Cloud.Call(ctx, Service, "remove",
+		RemoveArgs{Schema: t.binding.Schema, Field: field, DocID: docID}, nil)
+}
+
+// SearchEq implements spi.EqSearcher by exhaustive scan + gateway-side
+// decryption.
+func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
+	aead, err := t.aead(field)
+	if err != nil {
+		return nil, err
+	}
+	var reply ScanReply
+	if err := t.binding.Cloud.Call(ctx, Service, "scan",
+		ScanArgs{Schema: t.binding.Schema, Field: field}, &reply); err != nil {
+		return nil, err
+	}
+	want := model.ValueToString(value)
+	var ids []string
+	for _, item := range reply.Items {
+		pt, err := aead.Open(item.CT, []byte(item.DocID))
+		if err != nil {
+			return nil, fmt.Errorf("rnd: ciphertext for %s failed authentication: %w", item.DocID, err)
+		}
+		if string(pt) == want {
+			ids = append(ids, item.DocID)
+		}
+	}
+	return ids, nil
+}
+
+// RegisterCloud installs the cloud half on mux, backed by store.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	colKey := func(schema, field string) []byte {
+		return []byte(fmt.Sprintf("rndidx/%s/%s", schema, field))
+	}
+	mux.Handle(Service, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in PutArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.HSet(colKey(in.Schema, in.Field), []byte(in.DocID), in.CT)
+	})
+	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in RemoveArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		return nil, store.HDel(colKey(in.Schema, in.Field), []byte(in.DocID))
+	})
+	mux.Handle(Service, "scan", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in ScanArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		fields, err := store.HFields(colKey(in.Schema, in.Field))
+		if err != nil {
+			return nil, err
+		}
+		reply := ScanReply{Items: make([]ScanItem, 0, len(fields))}
+		for _, f := range fields {
+			ct, ok, err := store.HGet(colKey(in.Schema, in.Field), f)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				reply.Items = append(reply.Items, ScanItem{DocID: string(f), CT: ct})
+			}
+		}
+		return reply, nil
+	})
+}
+
+var (
+	_ spi.Inserter   = (*Tactic)(nil)
+	_ spi.Deleter    = (*Tactic)(nil)
+	_ spi.EqSearcher = (*Tactic)(nil)
+)

@@ -1,0 +1,47 @@
+// Package tactics assembles DataBlinder's built-in data protection tactic
+// catalog — the nine schemes of the paper's Table 2 — for both deployment
+// halves. Registration is explicit (no init-time side effects): gateways
+// call Registry, cloud servers call RegisterCloud.
+package tactics
+
+import (
+	"datablinder/internal/spi"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics/biex"
+	"datablinder/internal/tactics/det"
+	"datablinder/internal/tactics/mitra"
+	"datablinder/internal/tactics/ope"
+	"datablinder/internal/tactics/ore"
+	"datablinder/internal/tactics/paillier"
+	"datablinder/internal/tactics/rnd"
+	"datablinder/internal/tactics/sophos"
+	"datablinder/internal/transport"
+)
+
+// Registry returns a registry populated with every built-in tactic.
+func Registry() (*spi.Registry, error) {
+	return spi.NewRegistry(
+		det.Registration(),
+		rnd.Registration(),
+		mitra.Registration(),
+		sophos.Registration(),
+		biex.Registration2Lev(),
+		biex.RegistrationZMF(),
+		ope.Registration(),
+		ore.Registration(),
+		paillier.Registration(),
+	)
+}
+
+// RegisterCloud installs every built-in tactic's cloud half on mux, all
+// backed by the same store.
+func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
+	det.RegisterCloud(mux, store)
+	rnd.RegisterCloud(mux, store)
+	mitra.RegisterCloud(mux, store)
+	sophos.RegisterCloud(mux, store)
+	biex.RegisterCloud(mux, store)
+	ope.RegisterCloud(mux, store)
+	ore.RegisterCloud(mux, store)
+	paillier.RegisterCloud(mux, store)
+}

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	// Property: any request written as a frame reads back identically.
+	f := func(id uint64, service, method string, payload []byte) bool {
+		in := &request{
+			ID:      id,
+			Service: service,
+			Method:  method,
+		}
+		if payload != nil {
+			raw, err := json.Marshal(payload)
+			if err != nil {
+				return false
+			}
+			in.Payload = raw
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, in); err != nil {
+			return false
+		}
+		var out request
+		if err := readFrame(&buf, &out); err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Service == in.Service && out.Method == in.Method &&
+			(len(in.Payload) == 0 && len(out.Payload) == 0 || reflect.DeepEqual(in.Payload, out.Payload))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	big := struct {
+		Data []byte `json:"data"`
+	}{Data: make([]byte, MaxFrameSize)}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, big); err != ErrFrameTooLarge {
+		t.Fatalf("writeFrame(oversize) = %v", err)
+	}
+	// A header that promises too much is rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var v request
+	if err := readFrame(&buf, &v); err != ErrFrameTooLarge {
+		t.Fatalf("readFrame(oversize header) = %v", err)
+	}
+}
+
+func TestClientSurvivesServerRestart(t *testing.T) {
+	// A cloud node restart (new listener on the same address) must not
+	// permanently break a pooled client: calls fail while the server is
+	// down and succeed again after reconnection.
+	mux := testMux()
+	srv := NewServer(mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr, DialOptions{PoolSize: 1, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	var reply echoReply
+	if err := client.Call(ctx, "test", "echo", echoArgs{Msg: "before"}, &reply); err != nil {
+		t.Fatalf("call before restart: %v", err)
+	}
+	srv.Close()
+
+	// While down: calls fail (possibly several, as the pool reconnects).
+	sawFailure := false
+	for i := 0; i < 3; i++ {
+		if err := client.Call(ctx, "test", "echo", echoArgs{Msg: "down"}, &reply); err != nil {
+			sawFailure = true
+			break
+		}
+	}
+	if !sawFailure {
+		t.Fatal("no failure while server down")
+	}
+
+	// Restart on the same address.
+	srv2 := NewServer(mux)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("restart listen: %v", err)
+	}
+	defer srv2.Close()
+
+	// The client reconnects lazily: allow a few attempts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := client.Call(ctx, "test", "echo", echoArgs{Msg: "after"}, &reply)
+		if err == nil {
+			if reply.Msg != "after" {
+				t.Fatalf("reply = %q", reply.Msg)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,478 @@
+// Package transport implements DataBlinder's gateway↔cloud communication
+// channel: a length-prefixed JSON RPC protocol over TCP, plus an in-process
+// loopback implementation with identical serialization semantics.
+//
+// Every data protection tactic is a distributed protocol (paper §4.2);
+// its gateway half reaches its cloud half exclusively through a Conn, so
+// the same tactic code runs single-process (benchmarks, tests) or truly
+// distributed (cmd/gateway + cmd/cloudserver).
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MaxFrameSize bounds a single request or response frame (16 MiB). Frames
+// beyond this indicate a protocol violation or abuse.
+const MaxFrameSize = 16 << 20
+
+// Common errors.
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+	ErrClosed        = errors.New("transport: connection closed")
+	ErrNoHandler     = errors.New("transport: no handler registered")
+)
+
+// RemoteError is an error returned by the remote handler, preserved across
+// the wire.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// request is the wire format of a call.
+type request struct {
+	ID      uint64          `json:"id"`
+	Service string          `json:"service"`
+	Method  string          `json:"method"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// response is the wire format of a reply.
+type response struct {
+	ID      uint64          `json:"id"`
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Handler processes one RPC. The returned value is JSON-encoded into the
+// response payload.
+type Handler func(ctx context.Context, payload json.RawMessage) (any, error)
+
+// Mux routes service.method names to handlers. The zero value is unusable;
+// construct with NewMux. Handle calls must complete before Serve starts.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewMux returns an empty router.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Handle registers h for service.method, replacing any previous handler.
+func (m *Mux) Handle(service, method string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[service+"."+method] = h
+}
+
+// Services returns the registered service.method names, unordered.
+func (m *Mux) Services() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.handlers))
+	for k := range m.handlers {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (m *Mux) dispatch(ctx context.Context, req *request) *response {
+	m.mu.RLock()
+	h, ok := m.handlers[req.Service+"."+req.Method]
+	m.mu.RUnlock()
+	if !ok {
+		return &response{ID: req.ID, Error: fmt.Sprintf("%v: %s.%s", ErrNoHandler, req.Service, req.Method)}
+	}
+	result, err := h(ctx, req.Payload)
+	if err != nil {
+		return &response{ID: req.ID, Error: err.Error()}
+	}
+	payload, err := json.Marshal(result)
+	if err != nil {
+		return &response{ID: req.ID, Error: fmt.Sprintf("transport: encoding response: %v", err)}
+	}
+	return &response{ID: req.ID, OK: true, Payload: payload}
+}
+
+// Conn is a client connection to a cloud endpoint. Implementations are safe
+// for concurrent use.
+type Conn interface {
+	// Call invokes service.method with args (JSON-encoded) and decodes the
+	// response payload into reply (which may be nil to discard it).
+	Call(ctx context.Context, service, method string, args, reply any) error
+	// Close releases the connection. Subsequent calls return ErrClosed.
+	Close() error
+}
+
+// writeFrame writes one length-prefixed JSON value.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: encoding frame: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON value into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("transport: decoding frame: %w", err)
+	}
+	return nil
+}
+
+// Server serves a Mux over TCP. One goroutine per connection, one request
+// at a time per connection (pipelining is provided by the client pool).
+type Server struct {
+	mux *Mux
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer constructs a server for mux.
+func NewServer(mux *Mux) *Server {
+	return &Server{mux: mux, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	ctx := context.Background()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF, broken frame, or peer reset: drop the connection
+		}
+		resp := s.mux.dispatch(ctx, &req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// tcpConn is one pooled client socket.
+type tcpConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	next uint64
+}
+
+// TCPClient is a Conn over a pool of TCP sockets. Concurrent calls are
+// distributed across the pool; each socket carries one call at a time.
+type TCPClient struct {
+	addr    string
+	timeout time.Duration
+
+	pool chan *tcpConn
+	mu   sync.Mutex
+	all  []*tcpConn
+	done bool
+}
+
+// DialOptions configures Dial.
+type DialOptions struct {
+	// PoolSize is the number of sockets (default 4).
+	PoolSize int
+	// Timeout bounds each dial and each call round trip (default 30s).
+	Timeout time.Duration
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string, opts DialOptions) (*TCPClient, error) {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 4
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	c := &TCPClient{
+		addr:    addr,
+		timeout: opts.Timeout,
+		pool:    make(chan *tcpConn, opts.PoolSize),
+	}
+	for i := 0; i < opts.PoolSize; i++ {
+		sock, err := net.DialTimeout("tcp", addr, opts.Timeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		tc := &tcpConn{c: sock}
+		c.mu.Lock()
+		c.all = append(c.all, tc)
+		c.mu.Unlock()
+		c.pool <- tc
+	}
+	return c, nil
+}
+
+// Call implements Conn.
+func (c *TCPClient) Call(ctx context.Context, service, method string, args, reply any) error {
+	var payload json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("transport: encoding args: %w", err)
+		}
+		payload = b
+	}
+	var tc *tcpConn
+	select {
+	case tc = <-c.pool:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	resp, err := c.roundTrip(ctx, tc, service, method, payload)
+	if err != nil {
+		// The socket may hold a half-written frame; reconnect before
+		// reuse. If the reconnect itself fails (server down), the broken
+		// socket goes back to the pool anyway — the next call fails fast
+		// on it and retries the reconnect, so the pool never drains.
+		_ = c.reconnect(tc)
+		c.pool <- tc
+		return err
+	}
+	c.pool <- tc
+	if !resp.OK {
+		return &RemoteError{Msg: resp.Error}
+	}
+	if reply != nil && len(resp.Payload) > 0 {
+		if err := json.Unmarshal(resp.Payload, reply); err != nil {
+			return fmt.Errorf("transport: decoding reply: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *TCPClient) roundTrip(ctx context.Context, tc *tcpConn, service, method string, payload json.RawMessage) (*response, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.next++
+	req := &request{ID: tc.next, Service: service, Method: method, Payload: payload}
+
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := tc.c.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("transport: set deadline: %w", err)
+	}
+	if err := writeFrame(tc.c, req); err != nil {
+		return nil, fmt.Errorf("transport: write: %w", err)
+	}
+	var resp response
+	if err := readFrame(tc.c, &resp); err != nil {
+		return nil, fmt.Errorf("transport: read: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("transport: response id %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+func (c *TCPClient) reconnect(tc *tcpConn) error {
+	c.mu.Lock()
+	done := c.done
+	c.mu.Unlock()
+	if done {
+		return ErrClosed
+	}
+	sock, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	tc.c.Close()
+	tc.c = sock
+	tc.mu.Unlock()
+	return nil
+}
+
+// Close implements Conn.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return nil
+	}
+	c.done = true
+	all := c.all
+	c.mu.Unlock()
+	for _, tc := range all {
+		tc.mu.Lock()
+		tc.c.Close()
+		tc.mu.Unlock()
+	}
+	return nil
+}
+
+// Loopback is a Conn that dispatches directly into a Mux in-process, still
+// passing every payload through JSON so serialization behaviour matches the
+// TCP path exactly. It is used by benchmarks (scenario S_B/S_C single-host
+// runs) and tests.
+type Loopback struct {
+	mux *Mux
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewLoopback returns a loopback connection to mux.
+func NewLoopback(mux *Mux) *Loopback {
+	return &Loopback{mux: mux}
+}
+
+// Call implements Conn.
+func (l *Loopback) Call(ctx context.Context, service, method string, args, reply any) error {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var payload json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("transport: encoding args: %w", err)
+		}
+		payload = b
+	}
+	resp := l.mux.dispatch(ctx, &request{ID: 1, Service: service, Method: method, Payload: payload})
+	if !resp.OK {
+		return &RemoteError{Msg: resp.Error}
+	}
+	if reply != nil && len(resp.Payload) > 0 {
+		if err := json.Unmarshal(resp.Payload, reply); err != nil {
+			return fmt.Errorf("transport: decoding reply: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close implements Conn.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// IsNotFoundError reports whether err is a remote "not found" error. Cloud
+// handlers encode store misses as plain messages; this helper lets gateway
+// code branch on them without importing store packages.
+func IsNotFoundError(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "not found")
+}
+
+var (
+	_ Conn = (*TCPClient)(nil)
+	_ Conn = (*Loopback)(nil)
+)
