@@ -7,6 +7,7 @@
 //	blinderbench                      # laptop-scale run of both experiments
 //	blinderbench -experiment fig5     # only the throughput comparison
 //	blinderbench -experiment latency  # only the latency table
+//	blinderbench -experiment concurrency   # fan-out + pipelining speedups
 //	blinderbench -requests 151000 -users 1000   # the paper's full scale
 //
 // Each scenario runs against a fresh in-process cloud node over the
@@ -31,23 +32,48 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | latency | all")
+	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | all")
 	users := flag.Int("users", 64, "concurrent virtual users (paper: 1000)")
 	requests := flag.Int("requests", 4500, "total requests, split insert/search/aggregate (paper: ~151000)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	netDelay := flag.Duration("netdelay", 2*time.Millisecond, "simulated gateway->cloud RTT per RPC (paper deployment spanned private and public clouds); 0 disables")
 	flag.Parse()
+	netDelaySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "netdelay" {
+			netDelaySet = true
+		}
+	})
 
-	if err := run(*experiment, *users, *requests, *seed, *netDelay); err != nil {
+	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet); err != nil {
 		log.Fatalf("blinderbench: %v", err)
 	}
 }
 
-func run(experiment string, users, requests int, seed int64, netDelay time.Duration) error {
+func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool) error {
 	switch experiment {
-	case "fig5", "latency", "all":
+	case "fig5", "latency", "concurrency", "all":
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, latency, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, or all)", experiment)
+	}
+
+	if experiment == "concurrency" || experiment == "all" {
+		cfg := bench.DefaultConcurrencyConfig()
+		// The concurrency experiment keeps its own higher default RTT (round
+		// trips must dominate for the speedups to be meaningful); an explicit
+		// -netdelay still overrides it.
+		if netDelaySet {
+			cfg.NetDelay = netDelay
+		}
+		fmt.Fprintf(os.Stderr, "running concurrency experiment (%d clients, simulated RTT %v)...\n", cfg.Clients, cfg.NetDelay)
+		r, err := bench.RunConcurrency(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatConcurrency(r))
+		if experiment == "concurrency" {
+			return nil
+		}
 	}
 
 	newEnv := func() (transport.Conn, keys.Provider, *kvstore.Store, func(), error) {

@@ -17,6 +17,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"sync/atomic"
 	"time"
 
@@ -65,15 +66,22 @@ func (c delayConn) Call(ctx context.Context, service, method string, args, reply
 	return c.Conn.Call(ctx, service, method, args, reply)
 }
 
-// countingConn counts index-service calls (everything except the document
-// service), reproducing the paper's "~350k secure index operations" stat.
+// countingConn counts logical index-service operations (everything except
+// the document service), reproducing the paper's "~350k secure index
+// operations" stat. A transport batch counts as its number of sub-calls,
+// not one — batching changes frames, not index operations.
 type countingConn struct {
 	transport.Conn
 	indexOps *int64
 }
 
 func (c countingConn) Call(ctx context.Context, service, method string, args, reply any) error {
-	if service != cloud.DocService {
+	switch {
+	case service == transport.BatchService:
+		if v := reflect.ValueOf(args); v.Kind() == reflect.Slice {
+			atomic.AddInt64(c.indexOps, int64(v.Len()))
+		}
+	case service != cloud.DocService:
 		atomic.AddInt64(c.indexOps, 1)
 	}
 	return c.Conn.Call(ctx, service, method, args, reply)

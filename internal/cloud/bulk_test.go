@@ -1,0 +1,161 @@
+package cloud
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"datablinder/internal/store/docstore"
+	"datablinder/internal/transport"
+)
+
+func bulkNode(t *testing.T) (*Node, transport.Conn) {
+	t.Helper()
+	node, err := NewNode(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	conn := transport.NewLoopback(node.Mux)
+	t.Cleanup(func() { conn.Close() })
+	return node, conn
+}
+
+func TestDocPutMany(t *testing.T) {
+	node, conn := bulkNode(t)
+	ctx := context.Background()
+
+	recs := []docstore.Record{
+		{ID: "a", Blob: []byte("1")},
+		{ID: "b", Blob: []byte("2")},
+		{ID: "c", Blob: []byte("3")},
+	}
+	if err := conn.Call(ctx, DocService, "putmany",
+		DocPutManyArgs{Collection: "c", Records: recs, IfAbsent: true}, nil); err != nil {
+		t.Fatalf("putmany: %v", err)
+	}
+	for _, r := range recs {
+		blob, err := node.Docs.Get("c", r.ID)
+		if err != nil || string(blob) != string(r.Blob) {
+			t.Fatalf("doc %s = %q, %v", r.ID, blob, err)
+		}
+	}
+
+	// IfAbsent fails on the first duplicate with a coded error; earlier
+	// records of the batch stay stored.
+	err := conn.Call(ctx, DocService, "putmany", DocPutManyArgs{
+		Collection: "c",
+		Records: []docstore.Record{
+			{ID: "d", Blob: []byte("4")},
+			{ID: "b", Blob: []byte("dup")},
+			{ID: "e", Blob: []byte("5")},
+		},
+		IfAbsent: true,
+	}, nil)
+	if !transport.IsAlreadyExistsError(err) {
+		t.Fatalf("duplicate putmany = %v, want already_exists", err)
+	}
+	if blob, _ := node.Docs.Get("c", "d"); string(blob) != "4" {
+		t.Fatalf("pre-duplicate record lost: %q", blob)
+	}
+	if blob, _ := node.Docs.Get("c", "b"); string(blob) != "2" {
+		t.Fatalf("duplicate overwrote existing: %q", blob)
+	}
+	if _, err := node.Docs.Get("c", "e"); err == nil {
+		t.Fatal("post-duplicate record was stored")
+	}
+
+	// Without IfAbsent putmany overwrites.
+	if err := conn.Call(ctx, DocService, "putmany", DocPutManyArgs{
+		Collection: "c",
+		Records:    []docstore.Record{{ID: "b", Blob: []byte("new")}},
+	}, nil); err != nil {
+		t.Fatalf("overwrite putmany: %v", err)
+	}
+	if blob, _ := node.Docs.Get("c", "b"); string(blob) != "new" {
+		t.Fatalf("overwrite lost: %q", blob)
+	}
+}
+
+func TestDocDeleteMany(t *testing.T) {
+	node, conn := bulkNode(t)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("d%d", i)
+		if err := node.Docs.Put("c", id, []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reply DocDeleteManyReply
+	if err := conn.Call(ctx, DocService, "deletemany",
+		DocDeleteManyArgs{Collection: "c", IDs: []string{"d0", "missing", "d2", "d0"}}, &reply); err != nil {
+		t.Fatalf("deletemany: %v", err)
+	}
+	if reply.Deleted != 2 { // d0 once, d2 once; missing and the repeat are skipped
+		t.Fatalf("Deleted = %d, want 2", reply.Deleted)
+	}
+	if n, _ := node.Docs.Count("c"); n != 2 {
+		t.Fatalf("remaining docs = %d, want 2", n)
+	}
+	for _, id := range []string{"d1", "d3"} {
+		if _, err := node.Docs.Get("c", id); err != nil {
+			t.Fatalf("unrelated doc %s deleted: %v", id, err)
+		}
+	}
+}
+
+// TestDocServiceErrorCodes verifies the doc service attaches structured
+// codes so gateways never have to match on error strings.
+func TestDocServiceErrorCodes(t *testing.T) {
+	_, conn := bulkNode(t)
+	ctx := context.Background()
+
+	err := conn.Call(ctx, DocService, "get", DocGetArgs{Collection: "c", ID: "nope"}, nil)
+	if transport.ErrorCode(err) != transport.CodeNotFound {
+		t.Fatalf("get missing: code = %q (err %v)", transport.ErrorCode(err), err)
+	}
+	err = conn.Call(ctx, DocService, "delete", DocDeleteArgs{Collection: "c", ID: "nope"}, nil)
+	if transport.ErrorCode(err) != transport.CodeNotFound {
+		t.Fatalf("delete missing: code = %q (err %v)", transport.ErrorCode(err), err)
+	}
+	if err := conn.Call(ctx, DocService, "put",
+		DocPutArgs{Collection: "c", ID: "x", Blob: []byte("1"), IfAbsent: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = conn.Call(ctx, DocService, "put",
+		DocPutArgs{Collection: "c", ID: "x", Blob: []byte("2"), IfAbsent: true}, nil)
+	if transport.ErrorCode(err) != transport.CodeAlreadyExists {
+		t.Fatalf("duplicate put: code = %q (err %v)", transport.ErrorCode(err), err)
+	}
+}
+
+// TestCodesSurviveTCP runs the same coded-error checks across a real
+// socket: the code must travel inside the response frame.
+func TestCodesSurviveTCP(t *testing.T) {
+	node, err := NewNode(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	srv := transport.NewServer(node.Mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := transport.Dial(addr, transport.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx := context.Background()
+	err = conn.Call(ctx, DocService, "get", DocGetArgs{Collection: "c", ID: "nope"}, nil)
+	if transport.ErrorCode(err) != transport.CodeNotFound {
+		t.Fatalf("code over TCP = %q (err %v)", transport.ErrorCode(err), err)
+	}
+	if !transport.IsNotFoundError(err) {
+		t.Fatalf("IsNotFoundError over TCP = false (err %v)", err)
+	}
+}

@@ -10,6 +10,7 @@ package cloud
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"datablinder/internal/store/docstore"
@@ -54,6 +55,25 @@ type (
 	DocDeleteArgs struct {
 		Collection string `json:"collection"`
 		ID         string `json:"id"`
+	}
+	// DocPutManyArgs stores several blobs of one collection in one round
+	// trip (bulk loads, multi-document writers).
+	DocPutManyArgs struct {
+		Collection string            `json:"collection"`
+		Records    []docstore.Record `json:"records"`
+		// IfAbsent applies insert semantics to every record; the call
+		// fails on the first pre-existing id (earlier records stay).
+		IfAbsent bool `json:"if_absent,omitempty"`
+	}
+	// DocDeleteManyArgs removes several documents in one round trip,
+	// skipping missing ids.
+	DocDeleteManyArgs struct {
+		Collection string   `json:"collection"`
+		IDs        []string `json:"ids"`
+	}
+	// DocDeleteManyReply reports how many ids were actually removed.
+	DocDeleteManyReply struct {
+		Deleted int `json:"deleted"`
 	}
 	// DocScanArgs pages through a collection in id order.
 	DocScanArgs struct {
@@ -131,6 +151,20 @@ func (n *Node) Close() error {
 	return docErr
 }
 
+// coded maps the doc store's sentinel errors to structured transport
+// codes, so gateways branch on codes instead of message substrings.
+func coded(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, docstore.ErrNotFound):
+		return transport.WithCode(err, transport.CodeNotFound)
+	case errors.Is(err, docstore.ErrExists):
+		return transport.WithCode(err, transport.CodeAlreadyExists)
+	}
+	return err
+}
+
 func registerDocService(mux *transport.Mux, docs *docstore.Store) {
 	mux.Handle(DocService, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
 		var in DocPutArgs
@@ -138,9 +172,46 @@ func registerDocService(mux *transport.Mux, docs *docstore.Store) {
 			return nil, err
 		}
 		if in.IfAbsent {
-			return nil, docs.Insert(in.Collection, in.ID, in.Blob)
+			return nil, coded(docs.Insert(in.Collection, in.ID, in.Blob))
 		}
 		return nil, docs.Put(in.Collection, in.ID, in.Blob)
+	})
+	mux.Handle(DocService, "putmany", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocPutManyArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		for _, rec := range in.Records {
+			if in.IfAbsent {
+				if err := docs.Insert(in.Collection, rec.ID, rec.Blob); err != nil {
+					return nil, coded(err)
+				}
+				continue
+			}
+			if err := docs.Put(in.Collection, rec.ID, rec.Blob); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	mux.Handle(DocService, "deletemany", func(_ context.Context, payload json.RawMessage) (any, error) {
+		var in DocDeleteManyArgs
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, err
+		}
+		deleted := 0
+		for _, id := range in.IDs {
+			err := docs.Delete(in.Collection, id)
+			if err == nil {
+				deleted++
+				continue
+			}
+			if errors.Is(err, docstore.ErrNotFound) {
+				continue // bulk deletes are idempotent per id
+			}
+			return nil, err
+		}
+		return DocDeleteManyReply{Deleted: deleted}, nil
 	})
 	mux.Handle(DocService, "get", func(_ context.Context, payload json.RawMessage) (any, error) {
 		var in DocGetArgs
@@ -149,7 +220,7 @@ func registerDocService(mux *transport.Mux, docs *docstore.Store) {
 		}
 		blob, err := docs.Get(in.Collection, in.ID)
 		if err != nil {
-			return nil, err
+			return nil, coded(err)
 		}
 		return DocGetReply{Blob: blob}, nil
 	})
@@ -169,7 +240,7 @@ func registerDocService(mux *transport.Mux, docs *docstore.Store) {
 		if err := json.Unmarshal(payload, &in); err != nil {
 			return nil, err
 		}
-		return nil, docs.Delete(in.Collection, in.ID)
+		return nil, coded(docs.Delete(in.Collection, in.ID))
 	})
 	mux.Handle(DocService, "scan", func(_ context.Context, payload json.RawMessage) (any, error) {
 		var in DocScanArgs

@@ -1,0 +1,101 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return nil // cancelled by the failing sibling
+		case <-time.After(5 * time.Second):
+			return errors.New("sibling was not cancelled")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+}
+
+func TestGroupNoError(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	var n int64
+	for i := 0; i < 32; i++ {
+		g.Go(func() error {
+			atomic.AddInt64(&n, 1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	if n != 32 {
+		t.Fatalf("ran %d tasks, want 32", n)
+	}
+}
+
+func TestGroupLimit(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.SetLimit(3)
+	var cur, peak int64
+	for i := 0; i < 24; i++ {
+		g.Go(func() error {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds limit 3", peak)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var n int64
+	err := ForEach(context.Background(), 100, 8, func(_ context.Context, i int) error {
+		atomic.AddInt64(&n, int64(i))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4950 {
+		t.Fatalf("sum = %d, want 4950", n)
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int64
+	err := ForEach(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ForEach = %v, want boom", err)
+	}
+	if atomic.LoadInt64(&ran) == 1000 {
+		t.Log("all tasks ran despite early error (timing-dependent, not fatal)")
+	}
+}

@@ -16,10 +16,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
+	"time"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/conc"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -49,6 +50,11 @@ type Config struct {
 	// Registry is the tactic catalog; defaults must be supplied by the
 	// caller (use tactics.Registry()).
 	Registry *spi.Registry
+	// Sequential disables gateway-side fan-out: predicate leaves, index
+	// writes and result decryption run one after another, as they did
+	// before the concurrent engine. It exists as the benchmark/debug
+	// baseline; production configurations leave it false.
+	Sequential bool
 }
 
 // Engine is the gateway-side middleware core.
@@ -57,6 +63,7 @@ type Engine struct {
 	cloud    transport.Conn
 	local    *kvstore.Store
 	registry *spi.Registry
+	seq      bool
 
 	mu      sync.RWMutex
 	schemas map[string]*schemaRuntime
@@ -85,6 +92,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cloud:    cfg.Cloud,
 		local:    cfg.Local,
 		registry: cfg.Registry,
+		seq:      cfg.Sequential,
 		schemas:  make(map[string]*schemaRuntime),
 	}, nil
 }
@@ -141,8 +149,11 @@ func (e *Engine) LoadSchemas(ctx context.Context) error {
 	}
 	for _, k := range keysList {
 		raw, ok, err := e.local.Get(k)
-		if err != nil || !ok {
-			continue
+		if err != nil {
+			return fmt.Errorf("core: loading stored schema %s: %w", k, err)
+		}
+		if !ok {
+			continue // key vanished between Keys and Get; nothing to restore
 		}
 		var s model.Schema
 		if err := json.Unmarshal(raw, &s); err != nil {
@@ -354,48 +365,101 @@ func (rt *schemaRuntime) tacticFieldValues(doc *model.Document) map[string]map[s
 	return out
 }
 
-// indexInsert feeds a document into every selected tactic index.
-func (e *Engine) indexInsert(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
-	for name, fields := range rt.tacticFieldValues(doc) {
-		inst := rt.instances[name]
-		if di, ok := inst.(spi.DocInserter); ok {
-			if err := di.InsertDoc(ctx, doc.ID, fields); err != nil {
-				return fmt.Errorf("core: %s index insert: %w", name, err)
-			}
-			continue
-		}
-		if ins, ok := inst.(spi.Inserter); ok {
-			fieldNames := sortedKeys(fields)
-			for _, f := range fieldNames {
-				if err := ins.Insert(ctx, f, doc.ID, fields[f]); err != nil {
-					return fmt.Errorf("core: %s index insert field %s: %w", name, f, err)
-				}
-			}
-		}
+// runUnits executes independent index-operation closures: sequentially in
+// Sequential mode (or for a single unit), otherwise concurrently with
+// first-error cancellation. Each unit is one (tactic, field) RPC or one
+// cross-field tactic call, so fan-out width is bounded by the schema.
+func (e *Engine) runUnits(ctx context.Context, units []func(context.Context) error) error {
+	if len(units) == 0 {
+		return nil
 	}
-	return nil
+	if e.seq || len(units) == 1 {
+		for _, u := range units {
+			if err := u(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g, gctx := conc.WithContext(ctx)
+	for _, u := range units {
+		u := u
+		g.Go(func() error { return u(gctx) })
+	}
+	return g.Wait()
 }
 
-// indexDelete removes a document from every selected tactic index.
-func (e *Engine) indexDelete(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
+// indexUnits builds the per-(tactic, field) work units of one document's
+// index maintenance. Units are independent: cross-field tactics receive a
+// single unit (their InsertDoc/DeleteDoc call is already atomic over the
+// document), per-field tactics one unit per field (tactic clients reserve
+// index counters atomically, so fields of one document may race safely).
+func (rt *schemaRuntime) indexUnits(doc *model.Document, insert bool) []func(context.Context) error {
+	var units []func(context.Context) error
 	for name, fields := range rt.tacticFieldValues(doc) {
+		name, fields := name, fields
 		inst := rt.instances[name]
-		if dd, ok := inst.(spi.DocDeleter); ok {
-			if err := dd.DeleteDoc(ctx, doc.ID, fields); err != nil {
-				return fmt.Errorf("core: %s index delete: %w", name, err)
+		if insert {
+			if di, ok := inst.(spi.DocInserter); ok {
+				units = append(units, func(ctx context.Context) error {
+					if err := di.InsertDoc(ctx, doc.ID, fields); err != nil {
+						return fmt.Errorf("core: %s index insert: %w", name, err)
+					}
+					return nil
+				})
+				continue
+			}
+			ins, ok := inst.(spi.Inserter)
+			if !ok {
+				continue
+			}
+			for _, f := range sortedKeys(fields) {
+				f := f
+				units = append(units, func(ctx context.Context) error {
+					if err := ins.Insert(ctx, f, doc.ID, fields[f]); err != nil {
+						return fmt.Errorf("core: %s index insert field %s: %w", name, f, err)
+					}
+					return nil
+				})
 			}
 			continue
 		}
-		if del, ok := inst.(spi.Deleter); ok {
-			fieldNames := sortedKeys(fields)
-			for _, f := range fieldNames {
+		if dd, ok := inst.(spi.DocDeleter); ok {
+			units = append(units, func(ctx context.Context) error {
+				if err := dd.DeleteDoc(ctx, doc.ID, fields); err != nil {
+					return fmt.Errorf("core: %s index delete: %w", name, err)
+				}
+				return nil
+			})
+			continue
+		}
+		del, ok := inst.(spi.Deleter)
+		if !ok {
+			continue
+		}
+		for _, f := range sortedKeys(fields) {
+			f := f
+			units = append(units, func(ctx context.Context) error {
 				if err := del.Delete(ctx, f, doc.ID, fields[f]); err != nil {
 					return fmt.Errorf("core: %s index delete field %s: %w", name, f, err)
 				}
-			}
+				return nil
+			})
 		}
 	}
-	return nil
+	return units
+}
+
+// indexInsert feeds a document into every selected tactic index, fanning
+// out across tactics and fields.
+func (e *Engine) indexInsert(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
+	return e.runUnits(ctx, rt.indexUnits(doc, true))
+}
+
+// indexDelete removes a document from every selected tactic index, fanning
+// out across tactics and fields.
+func (e *Engine) indexDelete(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
+	return e.runUnits(ctx, rt.indexUnits(doc, false))
 }
 
 func sortedKeys(m map[string]any) []string {
@@ -441,13 +505,23 @@ func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document)
 	err = e.cloud.Call(ctx, cloud.DocService, "put",
 		cloud.DocPutArgs{Collection: schema, ID: doc.ID, Blob: blob, IfAbsent: true}, nil)
 	if err != nil {
-		var re *transport.RemoteError
-		if errors.As(err, &re) && strings.Contains(re.Msg, "already exists") {
+		if transport.IsAlreadyExistsError(err) {
 			return "", fmt.Errorf("%w: %s", ErrDocumentExists, doc.ID)
 		}
 		return "", err
 	}
 	if err := e.indexInsert(ctx, rt, doc); err != nil {
+		// The document blob is stored but (some of) its index entries are
+		// not, so searches would never surface it: compensate by removing
+		// the blob, best-effort, on a context that survives the caller's
+		// cancellation. The original indexing error is what the caller
+		// sees either way.
+		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
+		defer cancel()
+		if derr := e.cloud.Call(dctx, cloud.DocService, "delete",
+			cloud.DocDeleteArgs{Collection: schema, ID: doc.ID}, nil); derr != nil && !transport.IsNotFoundError(derr) {
+			return "", fmt.Errorf("%w (compensating delete also failed: %v)", err, derr)
+		}
 		return "", err
 	}
 	return doc.ID, nil
@@ -583,13 +657,29 @@ func (e *Engine) Fetch(ctx context.Context, schema string, ids []string) ([]*mod
 		cloud.DocGetManyArgs{Collection: schema, IDs: ids}, &reply); err != nil {
 		return nil, err
 	}
-	docs := make([]*model.Document, 0, len(reply.Records))
-	for _, rec := range reply.Records {
-		doc, err := rt.openDoc(rec.ID, rec.Blob)
-		if err != nil {
-			return nil, err
+	docs := make([]*model.Document, len(reply.Records))
+	if e.seq || len(reply.Records) <= 1 {
+		for i, rec := range reply.Records {
+			doc, err := rt.openDoc(rec.ID, rec.Blob)
+			if err != nil {
+				return nil, err
+			}
+			docs[i] = doc
 		}
-		docs = append(docs, doc)
+		return docs, nil
+	}
+	// AEAD open + JSON decode is CPU-bound; a NumCPU-wide pool keeps large
+	// result sets from serializing on one core without oversubscribing.
+	err = conc.ForEach(ctx, len(reply.Records), conc.NumWorkers(), func(_ context.Context, i int) error {
+		doc, err := rt.openDoc(reply.Records[i].ID, reply.Records[i].Blob)
+		if err != nil {
+			return err
+		}
+		docs[i] = doc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return docs, nil
 }

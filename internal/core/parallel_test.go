@@ -1,0 +1,372 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datablinder/internal/cloud"
+	"datablinder/internal/keys"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics"
+	"datablinder/internal/transport"
+)
+
+// wrapEnv builds a registered engine whose cloud conn is wrapped by wrap
+// (nil for a plain loopback), with Sequential set as given.
+func wrapEnv(t testing.TB, sequential bool, wrap func(transport.Conn) transport.Conn) *testEnv {
+	t.Helper()
+	node, err := cloud.NewNode(cloud.Options{})
+	if err != nil {
+		t.Fatalf("cloud.NewNode: %v", err)
+	}
+	t.Cleanup(func() { node.Close() })
+	ks, err := keys.NewRandomStore()
+	if err != nil {
+		t.Fatalf("keys: %v", err)
+	}
+	reg, err := tactics.Registry()
+	if err != nil {
+		t.Fatalf("tactics.Registry: %v", err)
+	}
+	var conn transport.Conn = transport.NewLoopback(node.Mux)
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	local := kvstore.New()
+	engine, err := NewEngine(Config{
+		Keys: ks, Cloud: conn, Local: local, Registry: reg, Sequential: sequential,
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := engine.RegisterSchema(context.Background(), observationSchema()); err != nil {
+		t.Fatalf("RegisterSchema: %v", err)
+	}
+	return &testEnv{engine: engine, node: node, local: local, keys: ks}
+}
+
+// peakConn tracks the peak number of concurrently in-flight Calls. A small
+// sleep per call guarantees genuinely concurrent callers overlap.
+type peakConn struct {
+	inner     transport.Conn
+	enabled   atomic.Bool
+	cur, peak atomic.Int64
+}
+
+func (p *peakConn) Call(ctx context.Context, service, method string, args, reply any) error {
+	if !p.enabled.Load() {
+		return p.inner.Call(ctx, service, method, args, reply)
+	}
+	c := p.cur.Add(1)
+	for {
+		pk := p.peak.Load()
+		if c <= pk || p.peak.CompareAndSwap(pk, c) {
+			break
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	err := p.inner.Call(ctx, service, method, args, reply)
+	p.cur.Add(-1)
+	return err
+}
+
+func (p *peakConn) Close() error { return p.inner.Close() }
+
+// mixedOr is a disjunction over fields served by three different tactics
+// (Mitra, Mitra/DET, OPE); the Range leaf defeats the single-frame boolean
+// compilation, forcing the recursive evaluator that fans out per leaf.
+func mixedOr() Predicate {
+	return Or{Preds: []Predicate{
+		Eq{Field: "status", Value: "final"},
+		Eq{Field: "subject", Value: "john-doe"},
+		Between("effective", int64(1361000000), int64(1363000000)),
+	}}
+}
+
+func sortedSearchIDs(t *testing.T, env *testEnv, p Predicate) []string {
+	t.Helper()
+	ids, err := env.engine.SearchIDs(context.Background(), "observation", p)
+	if err != nil {
+		t.Fatalf("SearchIDs: %v", err)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TestParallelSearchMatchesSequential runs the same queries on a parallel
+// and a Sequential engine over identical data and requires identical
+// results.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	par := wrapEnv(t, false, nil)
+	seq := wrapEnv(t, true, nil)
+	seed(t, par)
+	seed(t, seq)
+
+	queries := []Predicate{
+		mixedOr(),
+		And{Preds: []Predicate{
+			Eq{Field: "code", Value: "glucose"},
+			Eq{Field: "subject", Value: "john-doe"},
+			Not{Pred: Eq{Field: "status", Value: "draft"}},
+		}},
+		Or{Preds: []Predicate{
+			And{Preds: []Predicate{
+				Eq{Field: "status", Value: "final"},
+				Between("effective", int64(1360000000), int64(1365000000)),
+			}},
+			Eq{Field: "code", Value: "heart-rate"},
+		}},
+		And{Preds: []Predicate{
+			Gte("effective", int64(1361000000)),
+			Not{Pred: Eq{Field: "subject", Value: "jane-roe"}},
+		}},
+	}
+	for i, q := range queries {
+		got := sortedSearchIDs(t, par, q)
+		want := sortedSearchIDs(t, seq, q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("query %d: parallel=%v sequential=%v", i, got, want)
+		}
+		if len(want) == 0 {
+			t.Errorf("query %d matched nothing — not exercising the evaluator", i)
+		}
+	}
+
+	// Full-document search paths (Fetch fan-out) must agree too.
+	pdocs, err := par.engine.Search(context.Background(), "observation", mixedOr())
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	sdocs, err := seq.engine.Search(context.Background(), "observation", mixedOr())
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(pdocs) != len(sdocs) || len(pdocs) == 0 {
+		t.Fatalf("Search sizes: parallel=%d sequential=%d", len(pdocs), len(sdocs))
+	}
+	byID := map[string]float64{}
+	for _, d := range sdocs {
+		byID[d.ID] = d.Fields["value"].(float64)
+	}
+	for _, d := range pdocs {
+		if v, ok := byID[d.ID]; !ok || v != d.Fields["value"].(float64) {
+			t.Fatalf("document %s differs between engines", d.ID)
+		}
+	}
+}
+
+// TestSearchFanOutOverlaps proves the parallel engine issues leaf RPCs
+// concurrently while the Sequential engine keeps them strictly serial.
+func TestSearchFanOutOverlaps(t *testing.T) {
+	var pc, sc *peakConn
+	par := wrapEnv(t, false, func(c transport.Conn) transport.Conn {
+		pc = &peakConn{inner: c}
+		return pc
+	})
+	seq := wrapEnv(t, true, func(c transport.Conn) transport.Conn {
+		sc = &peakConn{inner: c}
+		return sc
+	})
+	seed(t, par)
+	seed(t, seq)
+
+	pc.enabled.Store(true)
+	if _, err := par.engine.SearchIDs(context.Background(), "observation", mixedOr()); err != nil {
+		t.Fatal(err)
+	}
+	pc.enabled.Store(false)
+	if got := pc.peak.Load(); got < 2 {
+		t.Fatalf("parallel engine peak in-flight RPCs = %d, want >= 2", got)
+	}
+
+	sc.enabled.Store(true)
+	if _, err := seq.engine.SearchIDs(context.Background(), "observation", mixedOr()); err != nil {
+		t.Fatal(err)
+	}
+	sc.enabled.Store(false)
+	if got := sc.peak.Load(); got != 1 {
+		t.Fatalf("sequential engine peak in-flight RPCs = %d, want exactly 1", got)
+	}
+}
+
+// TestInsertFanOutOverlaps: index maintenance units of one insert run
+// concurrently on the parallel engine, serially in Sequential mode.
+func TestInsertFanOutOverlaps(t *testing.T) {
+	var pc, sc *peakConn
+	par := wrapEnv(t, false, func(c transport.Conn) transport.Conn {
+		pc = &peakConn{inner: c}
+		return pc
+	})
+	seq := wrapEnv(t, true, func(c transport.Conn) transport.Conn {
+		sc = &peakConn{inner: c}
+		return sc
+	})
+
+	pc.enabled.Store(true)
+	if _, err := par.engine.Insert(context.Background(), "observation",
+		obs("p1", "final", "glucose", "john-doe", 1359966610, "john-smith", 6.3)); err != nil {
+		t.Fatal(err)
+	}
+	pc.enabled.Store(false)
+	if got := pc.peak.Load(); got < 2 {
+		t.Fatalf("parallel insert peak in-flight RPCs = %d, want >= 2", got)
+	}
+
+	sc.enabled.Store(true)
+	if _, err := seq.engine.Insert(context.Background(), "observation",
+		obs("s1", "final", "glucose", "john-doe", 1359966610, "john-smith", 6.3)); err != nil {
+		t.Fatal(err)
+	}
+	sc.enabled.Store(false)
+	if got := sc.peak.Load(); got != 1 {
+		t.Fatalf("sequential insert peak in-flight RPCs = %d, want exactly 1", got)
+	}
+
+	// Both engines must still serve reads after their inserts.
+	for _, env := range []*testEnv{par, seq} {
+		ids, err := env.engine.SearchIDs(context.Background(), "observation",
+			Eq{Field: "code", Value: "glucose"})
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("post-insert search: ids=%v err=%v", ids, err)
+		}
+	}
+}
+
+// failServiceConn fails every call to one service once armed.
+type failServiceConn struct {
+	inner   transport.Conn
+	service string
+	armed   atomic.Bool
+	failed  atomic.Int64
+}
+
+var errInjected = errors.New("injected index failure")
+
+func (f *failServiceConn) Call(ctx context.Context, service, method string, args, reply any) error {
+	if f.armed.Load() && service == f.service {
+		f.failed.Add(1)
+		return fmt.Errorf("%s.%s: %w", service, method, errInjected)
+	}
+	return f.inner.Call(ctx, service, method, args, reply)
+}
+
+func (f *failServiceConn) Close() error { return f.inner.Close() }
+
+// TestInsertCompensatesFailedIndexing: when index writes fail after the
+// document blob reached the cloud, Insert must remove the blob again and
+// surface the original indexing error. Runs against both engine modes.
+func TestInsertCompensatesFailedIndexing(t *testing.T) {
+	for _, sequential := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sequential=%v", sequential), func(t *testing.T) {
+			var fc *failServiceConn
+			env := wrapEnv(t, sequential, func(c transport.Conn) transport.Conn {
+				// "ope" indexes the effective/issued fields; doc puts and the
+				// compensating delete travel on the "doc" service and pass through.
+				fc = &failServiceConn{inner: c, service: "ope"}
+				return fc
+			})
+			fc.armed.Store(true)
+			_, err := env.engine.Insert(context.Background(), "observation",
+				obs("c1", "final", "glucose", "john-doe", 1359966610, "john-smith", 6.3))
+			fc.armed.Store(false)
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("Insert = %v, want the injected indexing error", err)
+			}
+			if fc.failed.Load() == 0 {
+				t.Fatal("fault injector never fired")
+			}
+			// The compensating delete must have removed the orphaned blob.
+			if _, err := env.engine.Get(context.Background(), "observation", "c1"); !errors.Is(err, ErrDocumentMissing) {
+				t.Fatalf("Get after failed insert = %v, want ErrDocumentMissing", err)
+			}
+			// The id is reusable once the injector is disarmed.
+			if _, err := env.engine.Insert(context.Background(), "observation",
+				obs("c1", "final", "glucose", "john-doe", 1359966610, "john-smith", 6.3)); err != nil {
+				t.Fatalf("re-insert after compensation: %v", err)
+			}
+		})
+	}
+}
+
+// TestParallelUpdateDelete exercises the fan-out paths of Update and
+// Delete and cross-checks against the Sequential engine.
+func TestParallelUpdateDelete(t *testing.T) {
+	par := wrapEnv(t, false, nil)
+	seq := wrapEnv(t, true, nil)
+	seed(t, par)
+	seed(t, seq)
+
+	for _, env := range []*testEnv{par, seq} {
+		upd := obs("f001", "amended", "glucose", "john-doe", 1359966610, "john-smith", 9.9)
+		if err := env.engine.Update(context.Background(), "observation", upd); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		if err := env.engine.Delete(context.Background(), "observation", "f002"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	q := Or{Preds: []Predicate{
+		Eq{Field: "status", Value: "amended"},
+		Eq{Field: "subject", Value: "jane-roe"},
+	}}
+	got := sortedSearchIDs(t, par, q)
+	want := sortedSearchIDs(t, seq, q)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-mutation search: parallel=%v sequential=%v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("post-mutation search matched nothing")
+	}
+}
+
+// TestConcurrentEngineUse hammers one parallel engine from many goroutines
+// mixing inserts and searches (run with -race).
+func TestConcurrentEngineUse(t *testing.T) {
+	env := wrapEnv(t, false, nil)
+	seed(t, env)
+
+	done := make(chan error, 12)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 5; i++ {
+				id := fmt.Sprintf("w%d-%d", g, i)
+				if _, err := env.engine.Insert(context.Background(), "observation",
+					obs(id, "final", "glucose", "john-doe", int64(1370000000+g*100+i), "john-smith", 1.0)); err != nil {
+					done <- fmt.Errorf("insert %s: %w", id, err)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 5; i++ {
+				if _, err := env.engine.SearchIDs(context.Background(), "observation", mixedOr()); err != nil {
+					done <- fmt.Errorf("search: %w", err)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := env.engine.SearchIDs(context.Background(), "observation", Eq{Field: "code", Value: "glucose"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 23 { // 3 seeded glucose docs + 20 inserted
+		t.Fatalf("glucose docs = %d, want 23", len(ids))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/conc"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
 )
@@ -123,12 +124,12 @@ func (e *Engine) eval(ctx context.Context, rt *schemaRuntime, p Predicate) (idSe
 	case And:
 		return e.evalAnd(ctx, rt, q)
 	case Or:
+		sets, err := e.evalChildren(ctx, rt, q.Preds)
+		if err != nil {
+			return nil, err
+		}
 		out := make(idSet)
-		for _, child := range q.Preds {
-			s, err := e.eval(ctx, rt, child)
-			if err != nil {
-				return nil, err
-			}
+		for _, s := range sets {
 			for id := range s {
 				out[id] = struct{}{}
 			}
@@ -157,7 +158,41 @@ func (e *Engine) eval(ctx context.Context, rt *schemaRuntime, p Predicate) (idSe
 	}
 }
 
-// evalAnd intersects positive children, then subtracts negated ones.
+// evalChildren evaluates sibling predicates: sequentially in Sequential
+// mode, otherwise concurrently with first-error cancellation. Children are
+// independent leaf RPCs or subtrees, so concurrency turns k serialized
+// round trips into one round-trip time.
+func (e *Engine) evalChildren(ctx context.Context, rt *schemaRuntime, preds []Predicate) ([]idSet, error) {
+	sets := make([]idSet, len(preds))
+	if e.seq || len(preds) <= 1 {
+		for i, child := range preds {
+			s, err := e.eval(ctx, rt, child)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = s
+		}
+		return sets, nil
+	}
+	err := conc.ForEach(ctx, len(preds), 0, func(gctx context.Context, i int) error {
+		s, err := e.eval(gctx, rt, preds[i])
+		if err != nil {
+			return err
+		}
+		sets[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// evalAnd intersects positive children, then subtracts negated ones. All
+// children evaluate concurrently; the set algebra happens gateway-side
+// once the last child lands. (The sequential engine's empty-intersection
+// short-circuit is deliberately traded for latency overlap: the common
+// case is a selective conjunction whose wall-clock is its slowest leaf.)
 func (e *Engine) evalAnd(ctx context.Context, rt *schemaRuntime, q And) (idSet, error) {
 	if len(q.Preds) == 0 {
 		return nil, fmt.Errorf("%w: empty AND", ErrUnsupportedQuery)
@@ -171,6 +206,14 @@ func (e *Engine) evalAnd(ctx context.Context, rt *schemaRuntime, q And) (idSet, 
 			positives = append(positives, child)
 		}
 	}
+	posSets, err := e.evalChildren(ctx, rt, positives)
+	if err != nil {
+		return nil, err
+	}
+	negSets, err := e.evalChildren(ctx, rt, negatives)
+	if err != nil {
+		return nil, err
+	}
 	var acc idSet
 	if len(positives) == 0 {
 		// AND of pure negations: complement against the universe.
@@ -180,11 +223,7 @@ func (e *Engine) evalAnd(ctx context.Context, rt *schemaRuntime, q And) (idSet, 
 		}
 		acc = toSet(universe)
 	}
-	for _, child := range positives {
-		s, err := e.eval(ctx, rt, child)
-		if err != nil {
-			return nil, err
-		}
+	for _, s := range posSets {
 		if acc == nil {
 			acc = s
 			continue
@@ -194,15 +233,8 @@ func (e *Engine) evalAnd(ctx context.Context, rt *schemaRuntime, q And) (idSet, 
 				delete(acc, id)
 			}
 		}
-		if len(acc) == 0 {
-			return acc, nil
-		}
 	}
-	for _, child := range negatives {
-		s, err := e.eval(ctx, rt, child)
-		if err != nil {
-			return nil, err
-		}
+	for _, s := range negSets {
 		for id := range s {
 			delete(acc, id)
 		}

@@ -133,10 +133,12 @@ type Deleter interface {
 	Delete(ctx context.Context, field, docID string, value any) error
 }
 
-// DocInserter indexes several fields of one document atomically. Tactics
+// DocInserter indexes several fields of one document in one call. Tactics
 // whose structures span fields (BIEX's cross-keyword multimap) implement
-// this instead of per-field Inserter; the engine passes every field of the
-// document assigned to the tactic in one call.
+// this instead of per-field Inserter, and per-field tactics implement it
+// to coalesce their per-field cloud mutations into one transport batch
+// frame (DET). The engine prefers this interface over Inserter, passing
+// every field of the document assigned to the tactic in one call.
 type DocInserter interface {
 	InsertDoc(ctx context.Context, docID string, fields map[string]any) error
 }

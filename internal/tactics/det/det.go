@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
@@ -143,6 +144,58 @@ func (t *Tactic) Delete(ctx context.Context, field, docID string, value any) err
 		RemoveArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
 }
 
+// batchOps encrypts every field value and coalesces the per-field index
+// mutations into one transport batch (a single gateway↔cloud frame).
+func (t *Tactic) batchOps(ctx context.Context, method, docID string, fields map[string]any) error {
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	calls := make([]transport.BatchCall, 0, len(names))
+	for _, f := range names {
+		ct, err := t.encrypt(f, fields[f])
+		if err != nil {
+			return err
+		}
+		calls = append(calls, transport.BatchCall{
+			Service: Service, Method: method,
+			Args: AddArgs{Schema: t.binding.Schema, Field: f, CT: ct, DocID: docID},
+		})
+	}
+	results, err := transport.CallBatch(ctx, t.binding.Cloud, calls)
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("det: %s field %s: %w", method, names[i], r.Err)
+		}
+	}
+	return nil
+}
+
+// InsertDoc implements spi.DocInserter: a document touching n DET-indexed
+// fields costs one round trip instead of n.
+func (t *Tactic) InsertDoc(ctx context.Context, docID string, fields map[string]any) error {
+	if len(fields) == 1 {
+		for f, v := range fields {
+			return t.Insert(ctx, f, docID, v)
+		}
+	}
+	return t.batchOps(ctx, "add", docID, fields)
+}
+
+// DeleteDoc implements spi.DocDeleter, batching like InsertDoc.
+func (t *Tactic) DeleteDoc(ctx context.Context, docID string, fields map[string]any) error {
+	if len(fields) == 1 {
+		for f, v := range fields {
+			return t.Delete(ctx, f, docID, v)
+		}
+	}
+	return t.batchOps(ctx, "remove", docID, fields)
+}
+
 // SearchEq implements spi.EqSearcher.
 func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]string, error) {
 	ct, err := t.encrypt(field, value)
@@ -194,7 +247,9 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 }
 
 var (
-	_ spi.Inserter   = (*Tactic)(nil)
-	_ spi.Deleter    = (*Tactic)(nil)
-	_ spi.EqSearcher = (*Tactic)(nil)
+	_ spi.Inserter    = (*Tactic)(nil)
+	_ spi.Deleter     = (*Tactic)(nil)
+	_ spi.DocInserter = (*Tactic)(nil)
+	_ spi.DocDeleter  = (*Tactic)(nil)
+	_ spi.EqSearcher  = (*Tactic)(nil)
 )

@@ -1,0 +1,108 @@
+// Batch calls: many service.method invocations coalesced into one frame
+// and one round trip. A document insert that touches many indexed fields
+// issues one per-field index write per tactic; batching turns those into a
+// single gateway↔cloud exchange (paper §6: round trips, not crypto,
+// dominate distributed-tactic cost).
+
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// BatchService is the reserved service every Mux serves; it executes a
+// slice of sub-requests received in one frame. The leading underscore
+// keeps it out of Services().
+const (
+	BatchService = "_batch"
+	BatchMethod  = "exec"
+)
+
+// BatchCall is one sub-call of a batch.
+type BatchCall struct {
+	Service string
+	Method  string
+	Args    any
+}
+
+// BatchResult is one sub-call's outcome. Err is a *RemoteError when the
+// sub-handler failed; Payload is the JSON-encoded reply otherwise.
+type BatchResult struct {
+	Err     error
+	Payload json.RawMessage
+}
+
+// Decode unmarshals the sub-reply into reply, returning the sub-call error
+// if there was one.
+func (r BatchResult) Decode(reply any) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if reply != nil && len(r.Payload) > 0 {
+		if err := json.Unmarshal(r.Payload, reply); err != nil {
+			return fmt.Errorf("transport: decoding batch reply: %w", err)
+		}
+	}
+	return nil
+}
+
+// execBatch is the mux's built-in handler for BatchService: it dispatches
+// every sub-request in order and returns the sub-responses. Sub-requests
+// run sequentially — the saving is the round trip, and in-order execution
+// preserves per-document index-update ordering for tactic protocols.
+func (m *Mux) execBatch(ctx context.Context, payload json.RawMessage) (any, error) {
+	var subs []request
+	if err := json.Unmarshal(payload, &subs); err != nil {
+		return nil, fmt.Errorf("transport: decoding batch: %w", err)
+	}
+	out := make([]response, len(subs))
+	for i := range subs {
+		if subs[i].Service == BatchService {
+			out[i] = response{Error: "transport: nested batch calls are not allowed"}
+			continue
+		}
+		out[i] = *m.dispatch(ctx, &subs[i])
+	}
+	return out, nil
+}
+
+// CallBatch executes calls as one round trip over conn and returns one
+// result per call, in order. The connection's peer mux always supports it
+// (the batch executor is built into every Mux). Transport-level failures
+// return a non-nil error; per-call handler failures are reported in the
+// corresponding BatchResult only.
+func CallBatch(ctx context.Context, conn Conn, calls []BatchCall) ([]BatchResult, error) {
+	if len(calls) == 0 {
+		return nil, nil
+	}
+	subs := make([]request, len(calls))
+	for i, call := range calls {
+		var payload json.RawMessage
+		if call.Args != nil {
+			b, err := json.Marshal(call.Args)
+			if err != nil {
+				return nil, fmt.Errorf("transport: encoding batch args [%d]: %w", i, err)
+			}
+			payload = b
+		}
+		subs[i] = request{ID: uint64(i), Service: call.Service, Method: call.Method, Payload: payload}
+	}
+	var replies []response
+	if err := conn.Call(ctx, BatchService, BatchMethod, subs, &replies); err != nil {
+		return nil, err
+	}
+	if len(replies) != len(calls) {
+		return nil, fmt.Errorf("transport: batch returned %d results for %d calls", len(replies), len(calls))
+	}
+	out := make([]BatchResult, len(calls))
+	for i, r := range replies {
+		if !r.OK {
+			out[i] = BatchResult{Err: &RemoteError{Code: r.Code, Msg: r.Error}}
+			continue
+		}
+		out[i] = BatchResult{Payload: r.Payload}
+	}
+	return out, nil
+}

@@ -6,6 +6,14 @@
 // its gateway half reaches its cloud half exclusively through a Conn, so
 // the same tactic code runs single-process (benchmarks, tests) or truly
 // distributed (cmd/gateway + cmd/cloudserver).
+//
+// The TCP path is fully pipelined: each socket carries an unbounded number
+// of in-flight calls correlated by request id, with a dedicated reader
+// goroutine delivering out-of-order responses, and the server dispatches
+// every request on its own goroutine (bounded by a semaphore) so pipelined
+// requests genuinely overlap. Round trips therefore cost latency, not
+// occupancy — the property the paper's §6 evaluation shows dominates
+// end-to-end cost once tactics are distributed.
 package transport
 
 import (
@@ -18,6 +26,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,13 +41,57 @@ var (
 	ErrNoHandler     = errors.New("transport: no handler registered")
 )
 
+// Structured remote error codes. Handlers attach them with WithCode; the
+// mux preserves them across the wire so clients can branch without
+// matching message substrings.
+const (
+	CodeNotFound      = "not_found"
+	CodeAlreadyExists = "already_exists"
+)
+
 // RemoteError is an error returned by the remote handler, preserved across
 // the wire.
 type RemoteError struct {
-	Msg string
+	// Code is the structured error code set by the handler via WithCode,
+	// or "" when the handler returned an uncoded error.
+	Code string
+	Msg  string
 }
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// ErrorCode implements the coded-error interface, so codes survive
+// re-wrapping (e.g. a gateway proxying a cloud error onwards).
+func (e *RemoteError) ErrorCode() string { return e.Code }
+
+// codedError attaches a structured code to an error.
+type codedError struct {
+	err  error
+	code string
+}
+
+func (e *codedError) Error() string     { return e.err.Error() }
+func (e *codedError) Unwrap() error     { return e.err }
+func (e *codedError) ErrorCode() string { return e.code }
+
+// WithCode attaches a structured code to err. The mux serializes the code
+// into the response so the client-side RemoteError carries it.
+func WithCode(err error, code string) error {
+	if err == nil {
+		return nil
+	}
+	return &codedError{err: err, code: code}
+}
+
+// ErrorCode extracts the structured code from err ("" if none). It unwraps
+// through fmt.Errorf chains and across RemoteError.
+func ErrorCode(err error) string {
+	var c interface{ ErrorCode() string }
+	if errors.As(err, &c) {
+		return c.ErrorCode()
+	}
+	return ""
+}
 
 // request is the wire format of a call.
 type request struct {
@@ -53,6 +106,7 @@ type response struct {
 	ID      uint64          `json:"id"`
 	OK      bool            `json:"ok"`
 	Error   string          `json:"error,omitempty"`
+	Code    string          `json:"code,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
@@ -62,14 +116,19 @@ type Handler func(ctx context.Context, payload json.RawMessage) (any, error)
 
 // Mux routes service.method names to handlers. The zero value is unusable;
 // construct with NewMux. Handle calls must complete before Serve starts.
+//
+// Every mux serves the reserved BatchService, which executes a slice of
+// sub-requests received in one frame (see CallBatch).
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 }
 
-// NewMux returns an empty router.
+// NewMux returns an empty router (plus the built-in batch executor).
 func NewMux() *Mux {
-	return &Mux{handlers: make(map[string]Handler)}
+	m := &Mux{handlers: make(map[string]Handler)}
+	m.handlers[BatchService+"."+BatchMethod] = m.execBatch
+	return m
 }
 
 // Handle registers h for service.method, replacing any previous handler.
@@ -80,11 +139,15 @@ func (m *Mux) Handle(service, method string, h Handler) {
 }
 
 // Services returns the registered service.method names, unordered.
+// Reserved internal services (leading underscore) are omitted.
 func (m *Mux) Services() []string {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.handlers))
 	for k := range m.handlers {
+		if strings.HasPrefix(k, "_") {
+			continue
+		}
 		out = append(out, k)
 	}
 	return out
@@ -99,7 +162,7 @@ func (m *Mux) dispatch(ctx context.Context, req *request) *response {
 	}
 	result, err := h(ctx, req.Payload)
 	if err != nil {
-		return &response{ID: req.ID, Error: err.Error()}
+		return &response{ID: req.ID, Error: err.Error(), Code: ErrorCode(err)}
 	}
 	payload, err := json.Marshal(result)
 	if err != nil {
@@ -156,10 +219,24 @@ func readFrame(r io.Reader, v any) error {
 	return nil
 }
 
-// Server serves a Mux over TCP. One goroutine per connection, one request
-// at a time per connection (pipelining is provided by the client pool).
+// DefaultMaxInFlight is the default per-server bound on concurrently
+// executing handlers.
+const DefaultMaxInFlight = 256
+
+// Server serves a Mux over TCP. One reader goroutine per connection, one
+// worker goroutine per request (bounded by a server-wide semaphore), so
+// pipelined requests from a single socket execute concurrently and may
+// complete out of order; the client correlates responses by request id.
 type Server struct {
 	mux *Mux
+
+	// MaxInFlight bounds concurrently executing handlers across all
+	// connections (DefaultMaxInFlight if zero). Set before Listen.
+	MaxInFlight int
+
+	sem    chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -170,7 +247,8 @@ type Server struct {
 
 // NewServer constructs a server for mux.
 func NewServer(mux *Mux) *Server {
-	return &Server{mux: mux, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{mux: mux, conns: make(map[net.Conn]struct{}), ctx: ctx, cancel: cancel}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
@@ -185,6 +263,13 @@ func (s *Server) Listen(addr string) (string, error) {
 		s.mu.Unlock()
 		ln.Close()
 		return "", ErrClosed
+	}
+	if s.sem == nil {
+		n := s.MaxInFlight
+		if n <= 0 {
+			n = DefaultMaxInFlight
+		}
+		s.sem = make(chan struct{}, n)
 	}
 	s.ln = ln
 	s.mu.Unlock()
@@ -221,20 +306,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	ctx := context.Background()
+	// Responses from concurrent workers interleave on the socket; writeMu
+	// keeps individual frames atomic.
+	var writeMu sync.Mutex
 	for {
 		var req request
 		if err := readFrame(conn, &req); err != nil {
 			return // EOF, broken frame, or peer reset: drop the connection
 		}
-		resp := s.mux.dispatch(ctx, &req)
-		if err := writeFrame(conn, resp); err != nil {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.ctx.Done():
 			return
 		}
+		s.wg.Add(1)
+		go func(req request) {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			resp := s.mux.dispatch(s.ctx, &req)
+			writeMu.Lock()
+			err := writeFrame(conn, resp)
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close() // wakes the read loop; connection is torn down
+			}
+		}(req)
 	}
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops accepting, cancels in-flight handlers, closes all
+// connections, and waits for workers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -247,6 +348,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	if ln != nil {
 		ln.Close()
 	}
@@ -254,28 +356,118 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// tcpConn is one pooled client socket.
-type tcpConn struct {
-	mu   sync.Mutex
-	c    net.Conn
-	next uint64
+// pending is one in-flight call awaiting its response.
+type pending struct {
+	ch chan *response // buffered(1); the reader delivers exactly once
 }
 
-// TCPClient is a Conn over a pool of TCP sockets. Concurrent calls are
-// distributed across the pool; each socket carries one call at a time.
+// msock is one multiplexed client socket: a single writer-side mutex
+// serializes frame writes, a dedicated reader goroutine correlates
+// responses to pending calls by request id.
+type msock struct {
+	c       net.Conn
+	writeMu sync.Mutex
+
+	mu     sync.Mutex
+	calls  map[uint64]*pending
+	err    error         // terminal socket error, set once before closing dead
+	dead   chan struct{} // closed when the reader exits
+	closed bool
+}
+
+func newMsock(c net.Conn) *msock {
+	m := &msock{c: c, calls: make(map[uint64]*pending), dead: make(chan struct{})}
+	go m.readLoop()
+	return m
+}
+
+// readLoop delivers responses until the socket fails, then drains every
+// pending call with the terminal error.
+func (m *msock) readLoop() {
+	for {
+		var resp response
+		if err := readFrame(m.c, &resp); err != nil {
+			m.fail(fmt.Errorf("transport: read: %w", err))
+			return
+		}
+		m.mu.Lock()
+		p := m.calls[resp.ID]
+		delete(m.calls, resp.ID)
+		m.mu.Unlock()
+		if p != nil {
+			p.ch <- &resp // buffered; never blocks
+		}
+		// No pending entry: the caller gave up (timeout/cancel); the
+		// response is discarded and the socket stays usable.
+	}
+}
+
+// fail marks the socket dead and wakes every pending caller.
+func (m *msock) fail(err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.err = err
+	m.calls = nil // callers learn the error via dead; entries are dropped
+	m.mu.Unlock()
+	m.c.Close()
+	close(m.dead)
+}
+
+// register files a pending call under id. It fails if the socket is dead.
+func (m *msock) register(id uint64, p *pending) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err
+	}
+	m.calls[id] = p
+	return nil
+}
+
+// deregister abandons a pending call (timeout/cancel). The response, if it
+// ever arrives, is discarded by the read loop.
+func (m *msock) deregister(id uint64) {
+	m.mu.Lock()
+	if m.calls != nil {
+		delete(m.calls, id)
+	}
+	m.mu.Unlock()
+}
+
+// socketSlot lazily (re)dials one pool position. Slots fail independently:
+// a dead socket only costs the calls in flight on it, and the next call on
+// the slot redials.
+type socketSlot struct {
+	mu  sync.Mutex
+	cur *msock // nil until dialed or after a failure was observed
+}
+
+// TCPClient is a Conn over a pool of multiplexed TCP sockets. Calls are
+// distributed round-robin; every socket carries an unbounded number of
+// concurrent in-flight calls (requests are pipelined, responses may return
+// out of order), so PoolSize=1 already sustains N concurrent callers
+// without serializing them. Additional sockets only add TCP-level
+// parallelism (congestion windows, kernel buffers).
 type TCPClient struct {
 	addr    string
 	timeout time.Duration
 
-	pool chan *tcpConn
-	mu   sync.Mutex
-	all  []*tcpConn
-	done bool
+	nextID uint64 // atomic; request ids unique across the pool
+	rr     uint32 // atomic round-robin cursor
+
+	mu    sync.Mutex
+	slots []*socketSlot
+	done  bool
 }
 
 // DialOptions configures Dial.
 type DialOptions struct {
-	// PoolSize is the number of sockets (default 4).
+	// PoolSize is the number of sockets (default 4). Because every socket
+	// is pipelined, this bounds TCP-level parallelism, not in-flight calls.
 	PoolSize int
 	// Timeout bounds each dial and each call round trip (default 30s).
 	Timeout time.Duration
@@ -292,24 +484,61 @@ func Dial(addr string, opts DialOptions) (*TCPClient, error) {
 	c := &TCPClient{
 		addr:    addr,
 		timeout: opts.Timeout,
-		pool:    make(chan *tcpConn, opts.PoolSize),
+		slots:   make([]*socketSlot, opts.PoolSize),
 	}
-	for i := 0; i < opts.PoolSize; i++ {
-		sock, err := net.DialTimeout("tcp", addr, opts.Timeout)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-		}
-		tc := &tcpConn{c: sock}
-		c.mu.Lock()
-		c.all = append(c.all, tc)
-		c.mu.Unlock()
-		c.pool <- tc
+	for i := range c.slots {
+		c.slots[i] = &socketSlot{}
 	}
+	// Dial the first socket eagerly so an unreachable server fails fast;
+	// the remaining slots dial lazily on first use.
+	sock, err := net.DialTimeout("tcp", addr, opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c.slots[0].cur = newMsock(sock)
 	return c, nil
 }
 
-// Call implements Conn.
+// acquire returns a healthy multiplexed socket for the next call, redialing
+// the slot if its previous socket died.
+func (c *TCPClient) acquire() (*msock, error) {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n := len(c.slots)
+	c.mu.Unlock()
+
+	slot := c.slots[int(atomic.AddUint32(&c.rr, 1))%n]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.cur != nil {
+		select {
+		case <-slot.cur.dead:
+			slot.cur = nil // observed failure; fall through to redial
+		default:
+			return slot.cur, nil
+		}
+	}
+	sock, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		sock.Close()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	slot.cur = newMsock(sock)
+	return slot.cur, nil
+}
+
+// Call implements Conn. The call is pipelined: it occupies the socket only
+// for the duration of the frame write, then waits for its correlated
+// response while other calls proceed on the same socket.
 func (c *TCPClient) Call(ctx context.Context, service, method string, args, reply any) error {
 	var payload json.RawMessage
 	if args != nil {
@@ -319,75 +548,66 @@ func (c *TCPClient) Call(ctx context.Context, service, method string, args, repl
 		}
 		payload = b
 	}
-	var tc *tcpConn
-	select {
-	case tc = <-c.pool:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	resp, err := c.roundTrip(ctx, tc, service, method, payload)
-	if err != nil {
-		// The socket may hold a half-written frame; reconnect before
-		// reuse. If the reconnect itself fails (server down), the broken
-		// socket goes back to the pool anyway — the next call fails fast
-		// on it and retries the reconnect, so the pool never drains.
-		_ = c.reconnect(tc)
-		c.pool <- tc
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	c.pool <- tc
+	m, err := c.acquire()
+	if err != nil {
+		return err
+	}
+
+	id := atomic.AddUint64(&c.nextID, 1)
+	req := &request{ID: id, Service: service, Method: method, Payload: payload}
+	p := &pending{ch: make(chan *response, 1)}
+	if err := m.register(id, p); err != nil {
+		return err
+	}
+
+	// Frame writes are short; bound them so a wedged peer cannot hold the
+	// write mutex forever. Read timeouts are per-call (the timer below),
+	// never socket-wide: a slow response must not fail its neighbours.
+	m.writeMu.Lock()
+	werr := m.c.SetWriteDeadline(time.Now().Add(c.timeout))
+	if werr == nil {
+		werr = writeFrame(m.c, req)
+	}
+	m.writeMu.Unlock()
+	if werr != nil {
+		m.deregister(id)
+		// A half-written frame poisons the stream for every call on the
+		// socket; kill it so they fail fast and the slot redials.
+		m.fail(fmt.Errorf("transport: write: %w", werr))
+		return fmt.Errorf("transport: write: %w", werr)
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	var resp *response
+	select {
+	case resp = <-p.ch:
+	case <-ctx.Done():
+		m.deregister(id)
+		return ctx.Err()
+	case <-timer.C:
+		m.deregister(id)
+		return fmt.Errorf("transport: call %s.%s: timeout after %v", service, method, c.timeout)
+	case <-m.dead:
+		// The reader exited; either our response will never come, or it
+		// raced in just before the failure.
+		select {
+		case resp = <-p.ch:
+		default:
+			return m.err
+		}
+	}
 	if !resp.OK {
-		return &RemoteError{Msg: resp.Error}
+		return &RemoteError{Code: resp.Code, Msg: resp.Error}
 	}
 	if reply != nil && len(resp.Payload) > 0 {
 		if err := json.Unmarshal(resp.Payload, reply); err != nil {
 			return fmt.Errorf("transport: decoding reply: %w", err)
 		}
 	}
-	return nil
-}
-
-func (c *TCPClient) roundTrip(ctx context.Context, tc *tcpConn, service, method string, payload json.RawMessage) (*response, error) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	tc.next++
-	req := &request{ID: tc.next, Service: service, Method: method, Payload: payload}
-
-	deadline := time.Now().Add(c.timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	if err := tc.c.SetDeadline(deadline); err != nil {
-		return nil, fmt.Errorf("transport: set deadline: %w", err)
-	}
-	if err := writeFrame(tc.c, req); err != nil {
-		return nil, fmt.Errorf("transport: write: %w", err)
-	}
-	var resp response
-	if err := readFrame(tc.c, &resp); err != nil {
-		return nil, fmt.Errorf("transport: read: %w", err)
-	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("transport: response id %d for request %d", resp.ID, req.ID)
-	}
-	return &resp, nil
-}
-
-func (c *TCPClient) reconnect(tc *tcpConn) error {
-	c.mu.Lock()
-	done := c.done
-	c.mu.Unlock()
-	if done {
-		return ErrClosed
-	}
-	sock, err := net.DialTimeout("tcp", c.addr, c.timeout)
-	if err != nil {
-		return err
-	}
-	tc.mu.Lock()
-	tc.c.Close()
-	tc.c = sock
-	tc.mu.Unlock()
 	return nil
 }
 
@@ -399,12 +619,15 @@ func (c *TCPClient) Close() error {
 		return nil
 	}
 	c.done = true
-	all := c.all
+	slots := c.slots
 	c.mu.Unlock()
-	for _, tc := range all {
-		tc.mu.Lock()
-		tc.c.Close()
-		tc.mu.Unlock()
+	for _, slot := range slots {
+		slot.mu.Lock()
+		if slot.cur != nil {
+			slot.cur.fail(ErrClosed)
+			slot.cur = nil
+		}
+		slot.mu.Unlock()
 	}
 	return nil
 }
@@ -412,7 +635,8 @@ func (c *TCPClient) Close() error {
 // Loopback is a Conn that dispatches directly into a Mux in-process, still
 // passing every payload through JSON so serialization behaviour matches the
 // TCP path exactly. It is used by benchmarks (scenario S_B/S_C single-host
-// runs) and tests.
+// runs) and tests. Calls dispatch on the caller's goroutine, so it is as
+// concurrent as its callers.
 type Loopback struct {
 	mux *Mux
 
@@ -446,7 +670,7 @@ func (l *Loopback) Call(ctx context.Context, service, method string, args, reply
 	}
 	resp := l.mux.dispatch(ctx, &request{ID: 1, Service: service, Method: method, Payload: payload})
 	if !resp.OK {
-		return &RemoteError{Msg: resp.Error}
+		return &RemoteError{Code: resp.Code, Msg: resp.Error}
 	}
 	if reply != nil && len(resp.Payload) > 0 {
 		if err := json.Unmarshal(resp.Payload, reply); err != nil {
@@ -464,12 +688,31 @@ func (l *Loopback) Close() error {
 	return nil
 }
 
-// IsNotFoundError reports whether err is a remote "not found" error. Cloud
-// handlers encode store misses as plain messages; this helper lets gateway
-// code branch on them without importing store packages.
+// IsNotFoundError reports whether err is a remote "not found" error.
+// Coded errors (CodeNotFound) are authoritative; uncoded remote errors
+// fall back to message matching for compatibility with older peers.
 func IsNotFoundError(err error) bool {
 	var re *RemoteError
-	return errors.As(err, &re) && strings.Contains(re.Msg, "not found")
+	if !errors.As(err, &re) {
+		return false
+	}
+	if re.Code != "" {
+		return re.Code == CodeNotFound
+	}
+	return strings.Contains(re.Msg, "not found")
+}
+
+// IsAlreadyExistsError reports whether err is a remote "already exists"
+// error (e.g. an insert hitting a duplicate document id).
+func IsAlreadyExistsError(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	if re.Code != "" {
+		return re.Code == CodeAlreadyExists
+	}
+	return strings.Contains(re.Msg, "already exists")
 }
 
 var (
