@@ -8,6 +8,7 @@
 //	blinderbench -experiment fig5     # only the throughput comparison
 //	blinderbench -experiment latency  # only the latency table
 //	blinderbench -experiment concurrency   # fan-out + pipelining speedups
+//	blinderbench -experiment hotpath  # A/B the crypto hot-path caches
 //	blinderbench -requests 151000 -users 1000   # the paper's full scale
 //
 // Each scenario runs against a fresh in-process cloud node over the
@@ -32,7 +33,8 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | all")
+	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | all")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath experiment's JSON result")
 	users := flag.Int("users", 64, "concurrent virtual users (paper: 1000)")
 	requests := flag.Int("requests", 4500, "total requests, split insert/search/aggregate (paper: ~151000)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -45,16 +47,34 @@ func main() {
 		}
 	})
 
-	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet); err != nil {
+	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut); err != nil {
 		log.Fatalf("blinderbench: %v", err)
 	}
 }
 
-func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool) error {
+func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut string) error {
 	switch experiment {
-	case "fig5", "latency", "concurrency", "all":
+	case "fig5", "latency", "concurrency", "hotpath", "all":
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, or all)", experiment)
+	}
+
+	if experiment == "hotpath" || experiment == "all" {
+		cfg := bench.DefaultHotpathConfig()
+		cfg.Seed = seed
+		fmt.Fprintf(os.Stderr, "running hotpath experiment (%d inserts/arm, %d-bit Paillier)...\n", cfg.Docs, cfg.PaillierBits)
+		r, err := bench.RunHotpath(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatHotpath(r))
+		if err := bench.WriteHotpathJSON(r, hotpathOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", hotpathOut)
+		if experiment == "hotpath" {
+			return nil
+		}
 	}
 
 	if experiment == "concurrency" || experiment == "all" {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cloudserver -listen 127.0.0.1:7700 [-data ./cloud-data]
+//	cloudserver -listen 127.0.0.1:7700 [-data ./cloud-data] [-pprof addr]
 //
 // With -data, the key-value index store persists to an append-only file
 // and the document store snapshots to JSON files on shutdown.
@@ -20,13 +20,21 @@ import (
 	"syscall"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/pprofserve"
 	"datablinder/internal/transport"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "address to serve the gateway RPC protocol on")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	stopPprof, err := pprofserve.Start(*pprofAddr)
+	if err != nil {
+		log.Fatalf("cloudserver: pprof: %v", err)
+	}
+	defer stopPprof()
 
 	if err := run(*listen, *dataDir); err != nil {
 		log.Fatalf("cloudserver: %v", err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gateway [-cloud 127.0.0.1:7700] [-key master.key] [-state gw.aof] <command> [args]
+//	gateway [-cloud 127.0.0.1:7700] [-key master.key] [-state gw.aof] [-pprof addr] <command> [args]
 //
 // Commands:
 //
@@ -35,13 +35,21 @@ import (
 	"time"
 
 	"datablinder"
+	"datablinder/internal/pprofserve"
 )
 
 func main() {
 	cloudAddr := flag.String("cloud", "127.0.0.1:7700", "cloudserver address")
 	keyPath := flag.String("key", "datablinder-master.key", "master key file (created if absent)")
 	statePath := flag.String("state", "datablinder-gateway.aof", "gateway state file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	stopPprof, err := pprofserve.Start(*pprofAddr)
+	if err != nil {
+		log.Fatalf("gateway: pprof: %v", err)
+	}
+	defer stopPprof()
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: gateway [flags] <command> [args]; see -h")

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunHotpathSmoke runs a tiny configuration end to end: both insert
+// arms, both token arms, both Paillier arms, plus the JSON artifact.
+func TestRunHotpathSmoke(t *testing.T) {
+	cfg := HotpathConfig{Docs: 6, PaillierBits: 256, PoolSize: 2, Rounds: 1, Seed: 1}
+	r, err := RunHotpath(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunHotpath: %v", err)
+	}
+	for name, arm := range map[string]HotpathArm{
+		"sse token cached":   r.SSETokenCached,
+		"sse token uncached": r.SSETokenUncached,
+		"insert cached":      r.SSEInsertCached,
+		"insert uncached":    r.SSEInsertUncached,
+		"paillier inline":    r.PaillierInline,
+		"paillier pooled":    r.PaillierPooled,
+	} {
+		if arm.Ops <= 0 || arm.NsPerOp <= 0 {
+			t.Errorf("%s arm empty: %+v", name, arm)
+		}
+	}
+	if r.PaillierSpeedup <= 0 {
+		t.Errorf("PaillierSpeedup = %v", r.PaillierSpeedup)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := WriteHotpathJSON(r, path); err != nil {
+		t.Fatalf("WriteHotpathJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HotpathResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if back.Config.Docs != cfg.Docs {
+		t.Errorf("artifact config = %+v", back.Config)
+	}
+
+	if s := FormatHotpath(r); s == "" {
+		t.Error("FormatHotpath returned empty string")
+	}
+}
+
+func TestRunHotpathRejectsBadConfig(t *testing.T) {
+	if _, err := RunHotpath(context.Background(), HotpathConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

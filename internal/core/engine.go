@@ -9,6 +9,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -16,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -294,28 +296,74 @@ func (rt *schemaRuntime) openDoc(id string, blob []byte) (*model.Document, error
 	if err != nil {
 		return nil, fmt.Errorf("core: document %s failed authentication: %w", id, err)
 	}
+	dec := json.NewDecoder(bytes.NewReader(pt))
+	dec.UseNumber() // int64 values above 2^53 must not round-trip through float64
 	var fields map[string]any
-	if err := json.Unmarshal(pt, &fields); err != nil {
+	if err := dec.Decode(&fields); err != nil {
 		return nil, fmt.Errorf("core: decoding document %s: %w", id, err)
 	}
-	normalizeJSONNumbers(rt.schema, fields)
+	if err := normalizeJSONNumbers(rt.schema, fields); err != nil {
+		return nil, fmt.Errorf("core: decoding document %s: %w", id, err)
+	}
 	return &model.Document{ID: id, Fields: fields}, nil
 }
 
-// normalizeJSONNumbers fixes JSON decoding artifacts: int fields decode as
-// float64 and must return to int64.
-func normalizeJSONNumbers(s *model.Schema, fields map[string]any) {
+// normalizeJSONNumbers converts the decoder's json.Number artifacts back
+// to the engine's internal types: int fields parse losslessly to int64
+// (a float64 round-trip silently corrupts values above 2^53), everything
+// else gets the default decoder's float64 representation.
+func normalizeJSONNumbers(s *model.Schema, fields map[string]any) error {
 	for name, v := range fields {
 		f, ok := s.Field(name)
-		if !ok {
+		if ok && f.Type == model.TypeInt {
+			if num, isN := v.(json.Number); isN {
+				i, err := strconv.ParseInt(num.String(), 10, 64)
+				if err != nil {
+					return fmt.Errorf("field %q: parsing integer %q: %w", name, num, err)
+				}
+				fields[name] = i
+			}
 			continue
 		}
-		if f.Type == model.TypeInt {
-			if fv, isF := v.(float64); isF {
-				fields[name] = int64(fv)
-			}
+		nv, err := denumber(v)
+		if err != nil {
+			return fmt.Errorf("field %q: %w", name, err)
 		}
+		fields[name] = nv
 	}
+	return nil
+}
+
+// denumber recursively replaces json.Number with float64, matching what
+// the default decoder would have produced for non-integer values.
+func denumber(v any) (any, error) {
+	switch t := v.(type) {
+	case json.Number:
+		f, err := t.Float64()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	case map[string]any:
+		for k, e := range t {
+			ne, err := denumber(e)
+			if err != nil {
+				return nil, err
+			}
+			t[k] = ne
+		}
+		return t, nil
+	case []any:
+		for i, e := range t {
+			ne, err := denumber(e)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = ne
+		}
+		return t, nil
+	}
+	return v, nil
 }
 
 // normalizeInput canonicalizes caller-provided values to the engine's

@@ -179,6 +179,28 @@ func TestInsertGetRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLargeIntRoundTrip(t *testing.T) {
+	env := registeredEnv(t)
+	// 2^53+1 is the first integer float64 cannot represent; a decoder that
+	// routes ints through float64 silently returns 2^53 here.
+	const huge = int64(1)<<53 + 1
+	doc := obs("big", "final", "glucose", "john-doe", huge, "john-smith", 6.3)
+	if _, err := env.engine.Insert(context.Background(), "observation", doc); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, err := env.engine.Get(context.Background(), "observation", "big")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Fields["effective"] != huge {
+		t.Fatalf("effective = %v (%T), want %d", got.Fields["effective"], got.Fields["effective"], huge)
+	}
+	// Float fields keep the plain-decoder representation.
+	if got.Fields["value"] != 6.3 {
+		t.Fatalf("value = %v (%T), want 6.3", got.Fields["value"], got.Fields["value"])
+	}
+}
+
 func TestInsertGeneratesID(t *testing.T) {
 	env := registeredEnv(t)
 	doc := &model.Document{Fields: map[string]any{"status": "final"}}

@@ -35,6 +35,10 @@ type PublicKey struct {
 	N  *big.Int // modulus n = p*q
 	G  *big.Int // generator, fixed to n+1
 	N2 *big.Int // n² cache
+
+	// pool, when non-nil, holds precomputed r^n mod n² masks so Encrypt
+	// skips the per-call exponentiation. See EnableRandPool.
+	pool *randPool
 }
 
 // PrivateKey is a Paillier private key.
@@ -128,31 +132,31 @@ func (pk *PublicKey) decode(m *big.Int) *big.Int {
 	return new(big.Int).Set(m)
 }
 
-// Encrypt encrypts the signed value v.
+// Encrypt encrypts the signed value v. When a randomness pool is enabled
+// (EnableRandPool) and warm, the mask r^n mod n² is precomputed and this
+// costs one modular multiplication.
 func (pk *PublicKey) Encrypt(v *big.Int) (*Ciphertext, error) {
 	m, err := pk.encode(v)
 	if err != nil {
 		return nil, err
 	}
-	// r uniform in [1, n) with gcd(r, n) = 1.
-	var r *big.Int
-	for {
-		r, err = rand.Int(rand.Reader, pk.N)
-		if err != nil {
-			return nil, fmt.Errorf("paillier: sampling r: %w", err)
-		}
-		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
-			break
-		}
+	rn, err := pk.mask()
+	if err != nil {
+		return nil, err
 	}
-	// c = g^m * r^n mod n². With g = n+1: g^m = 1 + m*n (mod n²).
+	return pk.encryptWithMask(m, rn), nil
+}
+
+// encryptWithMask completes the online phase of encryption given the mask
+// rn = r^n mod n²: c = g^m * rn mod n². With g = n+1: g^m = 1 + m*n
+// (mod n²). rn is not modified.
+func (pk *PublicKey) encryptWithMask(m, rn *big.Int) *Ciphertext {
 	gm := new(big.Int).Mul(m, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c, pk: pk}, nil
+	return &Ciphertext{C: c, pk: pk}
 }
 
 // EncryptInt64 encrypts a signed 64-bit value.
@@ -161,9 +165,14 @@ func (pk *PublicKey) EncryptInt64(v int64) (*Ciphertext, error) {
 }
 
 // EncryptZero returns a fresh encryption of zero, the identity element for
-// homomorphic addition.
+// homomorphic addition. Enc(0) = r^n mod n², so a pooled mask IS the
+// ciphertext — no multiplication at all.
 func (pk *PublicKey) EncryptZero() (*Ciphertext, error) {
-	return pk.Encrypt(big.NewInt(0))
+	rn, err := pk.mask()
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{C: rn, pk: pk}, nil
 }
 
 // Decrypt recovers the signed plaintext from ct.

@@ -1,0 +1,234 @@
+package primitives
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestPRFMatchesBaseline pins the pooled PRF to the allocate-per-call
+// reference output across toggle states and buffer reuse.
+func TestPRFMatchesBaseline(t *testing.T) {
+	key, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]byte{[]byte("namespace"), {0}, []byte("keyword")}
+
+	SetHotPathCaching(false)
+	want := PRF(key, data...)
+	SetHotPathCaching(true)
+	defer SetHotPathCaching(true)
+
+	if got := PRF(key, data...); !bytes.Equal(got, want) {
+		t.Fatalf("pooled PRF = %x, want %x", got, want)
+	}
+	// Repeat to exercise the Reset path of a recycled HMAC state.
+	if got := PRF(key, data...); !bytes.Equal(got, want) {
+		t.Fatalf("recycled PRF = %x, want %x", got, want)
+	}
+	buf := make([]byte, 0, PRFSize)
+	if got := PRFInto(buf, key, data...); !bytes.Equal(got, want) {
+		t.Fatalf("PRFInto = %x, want %x", got, want)
+	}
+	prefix := []byte("prefix")
+	out := PRFInto(append([]byte(nil), prefix...), key, data...)
+	if !bytes.Equal(out[:len(prefix)], prefix) || !bytes.Equal(out[len(prefix):], want) {
+		t.Fatalf("PRFInto with prefix = %x", out)
+	}
+}
+
+func TestDeriveKeyMemoMatchesBaseline(t *testing.T) {
+	master, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetHotPathCaching(false)
+	want, err := DeriveKey(master, "label-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetHotPathCaching(true)
+	defer SetHotPathCaching(true)
+	for i := 0; i < 3; i++ {
+		got, err := DeriveKey(master, "label-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("memoized DeriveKey = %x, want %x", got, want)
+		}
+	}
+}
+
+func TestSealIntoRoundTrip(t *testing.T) {
+	key, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aead, err := NewAEAD(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("the quick brown fox")
+	ad := []byte("assoc")
+	buf := make([]byte, 0, NonceSize+len(pt)+TagSize)
+	ct, err := aead.SealInto(buf, pt, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := aead.Open(ct, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %q, want %q", got, pt)
+	}
+	// With a prefix already in dst, the frame must append after it.
+	prefix := []byte("hdr")
+	out, err := aead.SealInto(append([]byte(nil), prefix...), pt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatalf("SealInto clobbered prefix: %q", out[:len(prefix)])
+	}
+	if got, err := aead.Open(out[len(prefix):], nil); err != nil || !bytes.Equal(got, pt) {
+		t.Fatalf("SealInto-with-prefix round trip = %q, %v", got, err)
+	}
+}
+
+// TestHotPathAllocs pins the allocation counts of the PRF, AEAD.Seal and
+// DET.Encrypt hot paths so regressions show up as test failures rather
+// than as GC pressure in production. The ceilings account for two costs
+// outside this package's control: the variadic data slice (1 alloc) and
+// one internal allocation in the stdlib's GCM Seal. Skipped under -race,
+// where sync.Pool deliberately drops items.
+func TestHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	key, err := NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetHotPathCaching(true)
+	data := []byte("allocation-regression-probe")
+
+	// PRFInto with a caller buffer: only the variadic slice remains once
+	// the HMAC state pool is warm (7+ allocs without pooling).
+	buf := make([]byte, 0, PRFSize)
+	PRFInto(buf, key, data) // warm the pool outside the measurement
+	if got := testing.AllocsPerRun(200, func() {
+		PRFInto(buf, key, data)
+	}); got > 1 {
+		t.Errorf("PRFInto allocs/op = %.1f, want <= 1", got)
+	}
+	// PRF (allocating variant): variadic slice + output slice.
+	if got := testing.AllocsPerRun(200, func() {
+		PRF(key, data)
+	}); got > 2 {
+		t.Errorf("PRF allocs/op = %.1f, want <= 2", got)
+	}
+
+	aead, err := NewAEAD(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealBuf := make([]byte, 0, NonceSize+len(data)+TagSize)
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := aead.SealInto(sealBuf, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 1 {
+		t.Errorf("SealInto allocs/op = %.1f, want <= 1", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := aead.Seal(data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2 {
+		t.Errorf("Seal allocs/op = %.1f, want <= 2", got)
+	}
+
+	encKey, _ := NewRandomKey()
+	macKey, _ := NewRandomKey()
+	det, err := NewDET(encKey, macKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Encrypt(data) // warm the MAC pool for macKey
+	if got := testing.AllocsPerRun(200, func() {
+		det.Encrypt(data)
+	}); got > 3 {
+		t.Errorf("DET.Encrypt allocs/op = %.1f, want <= 3", got)
+	}
+}
+
+// TestMACPoolConcurrent hammers the pooled PRF from parallel goroutines
+// under -race, over more distinct keys than one pool shard holds so both
+// the pooled and fallback paths run.
+func TestMACPoolConcurrent(t *testing.T) {
+	const keys = 128
+	ks := make([]Key, keys)
+	want := make([][]byte, keys)
+	SetHotPathCaching(true)
+	for i := range ks {
+		k, err := NewRandomKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks[i] = k
+		want[i] = PRF(k, []byte{byte(i)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := iter % keys
+				if got := PRF(ks[i], []byte{byte(i)}); !bytes.Equal(got, want[i]) {
+					t.Errorf("concurrent PRF mismatch for key %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkPRFInto(b *testing.B) {
+	key, _ := NewRandomKey()
+	data := []byte("benchmark-keyword")
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"pooled", true}, {"baseline", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetHotPathCaching(mode.on)
+			defer SetHotPathCaching(true)
+			buf := make([]byte, 0, PRFSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				PRFInto(buf, key, data)
+			}
+		})
+	}
+}
+
+func BenchmarkSealInto(b *testing.B) {
+	key, _ := NewRandomKey()
+	aead, _ := NewAEAD(key)
+	pt := make([]byte, 256)
+	buf := make([]byte, 0, NonceSize+len(pt)+TagSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aead.SealInto(buf, pt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+

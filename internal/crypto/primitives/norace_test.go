@@ -1,0 +1,5 @@
+//go:build !race
+
+package primitives
+
+const raceEnabled = false

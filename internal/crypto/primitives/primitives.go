@@ -18,7 +18,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -68,28 +71,112 @@ func (k *Key) Zero() {
 	}
 }
 
+// hotPathCaching gates the HMAC state pool and the DeriveKey memo. Both
+// are semantically transparent (same outputs, fewer allocations); the
+// toggle exists so benchmarks can A/B the optimized hot path against the
+// allocate-per-call baseline.
+var hotPathCaching atomic.Bool
+
+func init() { hotPathCaching.Store(true) }
+
+// SetHotPathCaching enables or disables the HMAC state pool and the
+// DeriveKey memo (both on by default). It exists for benchmark baselines;
+// production code never needs to call it.
+func SetHotPathCaching(on bool) { hotPathCaching.Store(on) }
+
+// HotPathCaching reports whether the primitive-level caches are active.
+func HotPathCaching() bool { return hotPathCaching.Load() }
+
+// The HMAC pool: keyed HMAC states are reusable via Reset, so the states
+// for frequently used keys are pooled instead of re-initialized (two
+// SHA-256 key schedules plus several allocations) on every PRF call.
+// The pool map is sharded to keep lookups contention-free and bounded per
+// shard so an adversarial or merely huge keyword population cannot pin
+// unbounded memory: keys beyond a shard's capacity simply fall back to
+// hmac.New.
+const (
+	macPoolShards   = 64
+	macPoolPerShard = 64
+)
+
+type macShard struct {
+	mu sync.RWMutex
+	m  map[Key]*sync.Pool
+}
+
+var macShards [macPoolShards]macShard
+
+// macPoolFor returns the HMAC state pool for key, or nil when the shard is
+// full (callers fall back to a fresh HMAC).
+func macPoolFor(key Key) *sync.Pool {
+	sh := &macShards[key[0]%macPoolShards]
+	sh.mu.RLock()
+	p := sh.m[key]
+	sh.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p := sh.m[key]; p != nil {
+		return p
+	}
+	if sh.m == nil {
+		sh.m = make(map[Key]*sync.Pool, macPoolPerShard)
+	}
+	if len(sh.m) >= macPoolPerShard {
+		return nil
+	}
+	k := key
+	p = &sync.Pool{New: func() any { return hmac.New(sha256.New, k[:]) }}
+	sh.m[key] = p
+	return p
+}
+
 // PRF computes HMAC-SHA256(key, data...) over the concatenation of the data
 // slices. It is the universal pseudo-random function used for token and
 // address derivation throughout the SSE schemes.
 func PRF(key Key, data ...[]byte) []byte {
-	mac := hmac.New(sha256.New, key[:])
+	return PRFInto(nil, key, data...)
+}
+
+// PRFInto appends the PRF output to dst and returns the extended slice,
+// letting hot paths reuse caller-owned buffers. dst may be nil.
+func PRFInto(dst []byte, key Key, data ...[]byte) []byte {
+	var mac hash.Hash
+	var pool *sync.Pool
+	if hotPathCaching.Load() {
+		pool = macPoolFor(key)
+	}
+	if pool != nil {
+		mac = pool.Get().(hash.Hash)
+	} else {
+		mac = hmac.New(sha256.New, key[:])
+	}
 	for _, d := range data {
 		mac.Write(d)
 	}
-	return mac.Sum(nil)
+	out := mac.Sum(dst)
+	if pool != nil {
+		mac.Reset()
+		pool.Put(mac)
+	}
+	return out
 }
 
 // PRFKey derives a sub-Key via the PRF. It is a convenience for building
 // per-keyword or per-field key hierarchies.
 func PRFKey(key Key, data ...[]byte) Key {
 	var out Key
-	copy(out[:], PRF(key, data...))
+	PRFInto(out[:0], key, data...)
 	return out
 }
 
 // PRFUint64 derives a pseudo-random uint64 from the PRF output.
 func PRFUint64(key Key, data ...[]byte) uint64 {
-	return binary.BigEndian.Uint64(PRF(key, data...)[:8])
+	var buf [PRFSize]byte
+	PRFInto(buf[:0], key, data...)
+	return binary.BigEndian.Uint64(buf[:8])
 }
 
 // HKDF derives length bytes of key material from the input keying material
@@ -119,15 +206,55 @@ func HKDF(ikm, salt, info []byte, length int) ([]byte, error) {
 	return out[:length], nil
 }
 
+// deriveMemo caches DeriveKey results. Derivation is deterministic, so the
+// cache is a pure speedup: HKDF runs once per (master, label). The map is
+// dropped wholesale when it reaches deriveMemoMax entries — label sets are
+// small and stable in practice (field × tactic × purpose), so eviction is
+// effectively never hit outside adversarial inputs.
+const deriveMemoMax = 4096
+
+type deriveMemoKey struct {
+	master Key
+	label  string
+}
+
+var (
+	deriveMemoMu sync.RWMutex
+	deriveMemo   map[deriveMemoKey]Key
+)
+
 // DeriveKey derives a named sub-key from a master key using HKDF with the
 // label as info. Derivation is deterministic: the same (master, label)
-// always yields the same sub-key.
+// always yields the same sub-key, and results are memoized so HKDF runs
+// once per (master, label).
 func DeriveKey(master Key, label string) (Key, error) {
+	memo := hotPathCaching.Load()
+	mk := deriveMemoKey{master: master, label: label}
+	if memo {
+		deriveMemoMu.RLock()
+		k, ok := deriveMemo[mk]
+		deriveMemoMu.RUnlock()
+		if ok {
+			return k, nil
+		}
+	}
 	raw, err := HKDF(master[:], nil, []byte(label), KeySize)
 	if err != nil {
 		return Key{}, err
 	}
-	return KeyFromBytes(raw)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		return Key{}, err
+	}
+	if memo {
+		deriveMemoMu.Lock()
+		if deriveMemo == nil || len(deriveMemo) >= deriveMemoMax {
+			deriveMemo = make(map[deriveMemoKey]Key, 64)
+		}
+		deriveMemo[mk] = k
+		deriveMemoMu.Unlock()
+	}
+	return k, nil
 }
 
 // AEAD wraps AES-256-GCM for authenticated encryption with associated data.
@@ -151,13 +278,25 @@ func NewAEAD(key Key) (*AEAD, error) {
 // Seal encrypts plaintext with a fresh random nonce and returns
 // nonce || ciphertext || tag. ad is optional associated data.
 func (a *AEAD) Seal(plaintext, ad []byte) ([]byte, error) {
-	nonce := make([]byte, NonceSize)
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+	return a.SealInto(nil, plaintext, ad)
+}
+
+// SealInto appends nonce || ciphertext || tag to dst and returns the
+// extended slice, letting hot paths reuse caller-owned buffers. dst may be
+// nil (equivalent to Seal).
+func (a *AEAD) SealInto(dst, plaintext, ad []byte) ([]byte, error) {
+	var nonce [NonceSize]byte
+	if _, err := io.ReadFull(rand.Reader, nonce[:]); err != nil {
 		return nil, fmt.Errorf("primitives: nonce: %w", err)
 	}
-	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
-	copy(out, nonce)
-	return a.gcm.Seal(out, nonce, plaintext, ad), nil
+	need := len(dst) + NonceSize + len(plaintext) + TagSize
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = append(dst, nonce[:]...)
+	return a.gcm.Seal(dst, nonce[:], plaintext, ad), nil
 }
 
 // Open decrypts a blob produced by Seal, authenticating ad.
@@ -195,7 +334,8 @@ func NewDET(encKey, macKey Key) (*DET, error) {
 // outputs; distinct inputs yield distinct outputs except with negligible
 // probability.
 func (d *DET) Encrypt(plaintext []byte) []byte {
-	siv := PRF(d.macKey, plaintext)[:NonceSize]
+	var sivBuf [PRFSize]byte
+	siv := PRFInto(sivBuf[:0], d.macKey, plaintext)[:NonceSize]
 	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
 	copy(out, siv)
 	return d.aead.gcm.Seal(out, siv, plaintext, nil)
@@ -210,7 +350,8 @@ func (d *DET) Decrypt(blob []byte) ([]byte, error) {
 	if err != nil {
 		return nil, ErrAuthentication
 	}
-	want := PRF(d.macKey, pt)[:NonceSize]
+	var wantBuf [PRFSize]byte
+	want := PRFInto(wantBuf[:0], d.macKey, pt)[:NonceSize]
 	if subtle.ConstantTimeCompare(want, blob[:NonceSize]) != 1 {
 		return nil, ErrAuthentication
 	}
@@ -234,9 +375,7 @@ func XOR(a, b []byte) []byte {
 		panic(fmt.Sprintf("primitives: XOR length mismatch %d != %d", len(a), len(b)))
 	}
 	out := make([]byte, len(a))
-	for i := range a {
-		out[i] = a[i] ^ b[i]
-	}
+	subtle.XORBytes(out, a, b)
 	return out
 }
 

@@ -5,10 +5,13 @@
 package model
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -486,6 +489,64 @@ func (s *Schema) SensitiveFields() []Field {
 type Document struct {
 	ID     string         `json:"id"`
 	Fields map[string]any `json:"fields"`
+}
+
+// UnmarshalJSON decodes the document with json.Number so integer literals
+// survive losslessly: the default decoder's float64 round-trip silently
+// corrupts values above 2^53. Plain integer literals that fit int64 decode
+// as int64 (accepted by validation for both int and float fields);
+// everything else keeps the default decoder's float64 representation.
+func (d *Document) UnmarshalJSON(data []byte) error {
+	type alias Document // drops the method; avoids recursing into this func
+	var a alias
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&a); err != nil {
+		return err
+	}
+	for k, v := range a.Fields {
+		nv, err := convertJSONNumbers(v)
+		if err != nil {
+			return fmt.Errorf("model: field %q: %w", k, err)
+		}
+		a.Fields[k] = nv
+	}
+	*d = Document(a)
+	return nil
+}
+
+// convertJSONNumbers recursively replaces json.Number artifacts: integer
+// literals that fit int64 become int64, anything else float64.
+func convertJSONNumbers(v any) (any, error) {
+	switch t := v.(type) {
+	case json.Number:
+		s := t.String()
+		if !strings.ContainsAny(s, ".eE") {
+			if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+				return i, nil
+			}
+		}
+		return t.Float64()
+	case map[string]any:
+		for k, e := range t {
+			ne, err := convertJSONNumbers(e)
+			if err != nil {
+				return nil, err
+			}
+			t[k] = ne
+		}
+		return t, nil
+	case []any:
+		for i, e := range t {
+			ne, err := convertJSONNumbers(e)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = ne
+		}
+		return t, nil
+	}
+	return v, nil
 }
 
 // ValidateAgainst checks that the document's fields conform to the schema:

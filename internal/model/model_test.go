@@ -1,6 +1,7 @@
 package model
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -339,6 +340,58 @@ func TestIntFieldsAcceptIntegralJSONFloats(t *testing.T) {
 	}
 	if _, _, err := NormalizeNumeric(42.5, TypeInt); err == nil {
 		t.Fatal("NormalizeNumeric accepted non-integral float for int")
+	}
+}
+
+func TestDocumentUnmarshalLosslessInts(t *testing.T) {
+	// 2^53+1 is the first integer float64 cannot represent; the default
+	// map[string]any decode silently returns 2^53 for it.
+	raw := []byte(`{"id":"big","fields":{
+		"issued": 9007199254740993,
+		"effective": -9007199254740995,
+		"value": 6.3,
+		"exp": 1e3,
+		"status": "final",
+		"nested": {"n": 9007199254740993, "list": [9007199254740993, 0.5]}
+	}}`)
+	var d Document
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if d.ID != "big" {
+		t.Fatalf("ID = %q", d.ID)
+	}
+	if d.Fields["issued"] != int64(9007199254740993) {
+		t.Errorf("issued = %v (%T)", d.Fields["issued"], d.Fields["issued"])
+	}
+	if d.Fields["effective"] != int64(-9007199254740995) {
+		t.Errorf("effective = %v (%T)", d.Fields["effective"], d.Fields["effective"])
+	}
+	if d.Fields["value"] != 6.3 {
+		t.Errorf("value = %v (%T)", d.Fields["value"], d.Fields["value"])
+	}
+	// Exponent notation is a float literal even when integral.
+	if d.Fields["exp"] != 1000.0 {
+		t.Errorf("exp = %v (%T)", d.Fields["exp"], d.Fields["exp"])
+	}
+	if d.Fields["status"] != "final" {
+		t.Errorf("status = %v", d.Fields["status"])
+	}
+	nested := d.Fields["nested"].(map[string]any)
+	if nested["n"] != int64(9007199254740993) {
+		t.Errorf("nested.n = %v (%T)", nested["n"], nested["n"])
+	}
+	list := nested["list"].([]any)
+	if list[0] != int64(9007199254740993) || list[1] != 0.5 {
+		t.Errorf("nested.list = %v", list)
+	}
+	// Integers beyond int64 fall back to float64 rather than erroring.
+	var huge Document
+	if err := json.Unmarshal([]byte(`{"id":"h","fields":{"v": 99999999999999999999}}`), &huge); err != nil {
+		t.Fatalf("Unmarshal(>int64): %v", err)
+	}
+	if _, ok := huge.Fields["v"].(float64); !ok {
+		t.Errorf("beyond-int64 literal = %T, want float64", huge.Fields["v"])
 	}
 }
 

@@ -1,0 +1,33 @@
+// Package pprofserve starts an optional net/http/pprof listener for the
+// long-running commands (gateway, cloudserver). Profiling is off unless a
+// listen address is given, so production deployments expose nothing by
+// default.
+package pprofserve
+
+import (
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+)
+
+// Start serves the default mux (which net/http/pprof registered itself on)
+// at addr in a background goroutine. An empty addr is a no-op. The returned
+// stop function closes the listener.
+func Start(addr string) (stop func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("pprof: server stopped: %v", err)
+		}
+	}()
+	log.Printf("pprof: profiling at http://%s/debug/pprof/", ln.Addr())
+	return func() { ln.Close() }, nil
+}

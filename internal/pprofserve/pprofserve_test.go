@@ -1,0 +1,44 @@
+package pprofserve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatalf("Start(\"\") = %v", err)
+	}
+	stop() // must be callable
+}
+
+// TestPprofRegistered checks the blank import wired /debug/pprof/ into the
+// default mux, which Start serves.
+func TestPprofRegistered(t *testing.T) {
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	http.DefaultServeMux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "pprof") {
+		t.Fatalf("/debug/pprof/ body = %q", rec.Body.String())
+	}
+}
+
+func TestStartListens(t *testing.T) {
+	stop, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	stop()
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("257.0.0.1:1"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

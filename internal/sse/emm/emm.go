@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/store/kvstore"
 )
@@ -168,6 +169,7 @@ type Client struct {
 	keyAddr primitives.Key // derives per-keyword address keys
 	keyVal  primitives.Key // derives per-keyword value keys
 	state   State
+	kwKeys  *keycache.Cache[string, [2]primitives.Key] // (addr, value) pairs
 }
 
 // NewClient derives the EMM client keys from key. state persists the
@@ -177,15 +179,25 @@ func NewClient(key primitives.Key, state State) *Client {
 		keyAddr: primitives.PRFKey(key, []byte("emm-addr")),
 		keyVal:  primitives.PRFKey(key, []byte("emm-val")),
 		state:   state,
+		kwKeys:  keycache.New[string, [2]primitives.Key](keycache.DefaultSize),
 	}
 }
 
-func (c *Client) addrKey(namespace, w string) primitives.Key {
-	return primitives.PRFKey(c.keyAddr, []byte(namespace), []byte{0}, []byte(w))
+// keywordKeys derives (or recalls) the per-keyword address and value keys.
+func (c *Client) keywordKeys(namespace, w string) (addr, val primitives.Key) {
+	ck := namespace + "\x00" + w
+	if pair, ok := c.kwKeys.Get(ck); ok {
+		return pair[0], pair[1]
+	}
+	addr = primitives.PRFKey(c.keyAddr, []byte(namespace), []byte{0}, []byte(w))
+	val = primitives.PRFKey(c.keyVal, []byte(namespace), []byte{0}, []byte(w))
+	c.kwKeys.Put(ck, [2]primitives.Key{addr, val})
+	return addr, val
 }
 
-func (c *Client) valueKey(namespace, w string) primitives.Key {
-	return primitives.PRFKey(c.keyVal, []byte(namespace), []byte{0}, []byte(w))
+func (c *Client) addrKey(namespace, w string) primitives.Key {
+	addr, _ := c.keywordKeys(namespace, w)
+	return addr
 }
 
 // tailAddr computes the address of tail cell i.
@@ -198,8 +210,19 @@ func packedAddr(addrKey primitives.Key, j uint64) []byte {
 	return primitives.PRF(addrKey, []byte("p"), primitives.Uint64Bytes(j))
 }
 
+// aeads caches constructed AEADs per value key: cipher construction (key
+// schedule + GCM tables) dominates small-cell seal/open costs. The cache
+// is package-level so the client and server halves share it.
+var aeads = keycache.New[primitives.Key, *primitives.AEAD](keycache.DefaultSize)
+
+func aeadFor(valueKey primitives.Key) (*primitives.AEAD, error) {
+	return aeads.GetOrCompute(valueKey, func() (*primitives.AEAD, error) {
+		return primitives.NewAEAD(valueKey)
+	})
+}
+
 func sealIDs(valueKey primitives.Key, ids []string) ([]byte, error) {
-	aead, err := primitives.NewAEAD(valueKey)
+	aead, err := aeadFor(valueKey)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +234,7 @@ func sealIDs(valueKey primitives.Key, ids []string) ([]byte, error) {
 }
 
 func openIDs(valueKey primitives.Key, blob []byte) ([]string, error) {
-	aead, err := primitives.NewAEAD(valueKey)
+	aead, err := aeadFor(valueKey)
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +253,7 @@ func openIDs(valueKey primitives.Key, blob []byte) ([]string, error) {
 // client counter atomically. The returned entry must be delivered to
 // Server.Insert.
 func (c *Client) Append(namespace, w, id string) (Entry, error) {
-	ak := c.addrKey(namespace, w)
-	vk := c.valueKey(namespace, w)
+	ak, vk := c.keywordKeys(namespace, w)
 	val, err := sealIDs(vk, []string{id})
 	if err != nil {
 		return Entry{}, err
@@ -252,8 +274,7 @@ func (c *Client) BuildPacked(namespace, w string, ids []string) (entries []Entry
 	if err != nil {
 		return nil, Counts{}, Counts{}, err
 	}
-	ak := c.addrKey(namespace, w)
-	vk := c.valueKey(namespace, w)
+	ak, vk := c.keywordKeys(namespace, w)
 	for j := 0; j*BucketCapacity < len(ids) || (j == 0 && len(ids) == 0); j++ {
 		loEnd := j * BucketCapacity
 		hiEnd := loEnd + BucketCapacity
@@ -282,8 +303,7 @@ func (c *Client) Token(namespace, w string) (SearchToken, error) {
 	if err != nil {
 		return SearchToken{}, err
 	}
-	ak := c.addrKey(namespace, w)
-	vk := c.valueKey(namespace, w)
+	ak, vk := c.keywordKeys(namespace, w)
 	return SearchToken{AddrKey: ak[:], ValueKey: vk[:], Counts: counts}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/store/kvstore"
 )
@@ -145,17 +146,28 @@ type SearchRequest struct {
 
 // Client is the gateway half of Mitra.
 type Client struct {
-	key   primitives.Key
-	state State
+	key    primitives.Key
+	state  State
+	kwKeys *keycache.Cache[string, primitives.Key]
 }
 
 // NewClient derives the client from key; state persists keyword counters.
 func NewClient(key primitives.Key, state State) *Client {
-	return &Client{key: primitives.PRFKey(key, []byte("mitra")), state: state}
+	return &Client{
+		key:    primitives.PRFKey(key, []byte("mitra")),
+		state:  state,
+		kwKeys: keycache.New[string, primitives.Key](keycache.DefaultSize),
+	}
 }
 
 func (c *Client) keywordKey(namespace, w string) primitives.Key {
-	return primitives.PRFKey(c.key, []byte(namespace), []byte{0}, []byte(w))
+	ck := namespace + "\x00" + w
+	if k, ok := c.kwKeys.Get(ck); ok {
+		return k
+	}
+	k := primitives.PRFKey(c.key, []byte(namespace), []byte{0}, []byte(w))
+	c.kwKeys.Put(ck, k)
+	return k
 }
 
 func addrOf(kw primitives.Key, i uint64) []byte {

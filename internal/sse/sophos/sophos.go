@@ -22,6 +22,7 @@ import (
 	"math/big"
 	"sync"
 
+	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/store/kvstore"
 )
@@ -137,10 +138,11 @@ type SearchToken struct {
 // Inserts are serialized per keyword (the TDP state chain is inherently
 // sequential) via striped locks, so the client is safe for concurrent use.
 type Client struct {
-	key   primitives.Key
-	rsa   *rsa.PrivateKey
-	state State
-	locks [64]sync.Mutex
+	key    primitives.Key
+	rsa    *rsa.PrivateKey
+	state  State
+	locks  [64]sync.Mutex
+	kwKeys *keycache.Cache[string, primitives.Key]
 }
 
 // NewClient derives the Sophos client. Generating the RSA trapdoor takes
@@ -159,7 +161,12 @@ func NewClientWithTDP(key primitives.Key, state State, pk *rsa.PrivateKey) (*Cli
 	if pk.N.BitLen() > RSABits {
 		return nil, fmt.Errorf("sophos: TDP modulus %d bits exceeds %d", pk.N.BitLen(), RSABits)
 	}
-	return &Client{key: primitives.PRFKey(key, []byte("sophos")), rsa: pk, state: state}, nil
+	return &Client{
+		key:    primitives.PRFKey(key, []byte("sophos")),
+		rsa:    pk,
+		state:  state,
+		kwKeys: keycache.New[string, primitives.Key](keycache.DefaultSize),
+	}, nil
 }
 
 // PublicKey returns the TDP public key material for the server.
@@ -178,7 +185,13 @@ func (c *Client) PublicKey() PublicKey {
 func (c *Client) TDP() *rsa.PrivateKey { return c.rsa }
 
 func (c *Client) keywordKey(namespace, w string) primitives.Key {
-	return primitives.PRFKey(c.key, []byte(namespace), []byte{0}, []byte(w))
+	ck := namespace + "\x00" + w
+	if k, ok := c.kwKeys.Get(ck); ok {
+		return k
+	}
+	k := primitives.PRFKey(c.key, []byte(namespace), []byte{0}, []byte(w))
+	c.kwKeys.Put(ck, k)
+	return k
 }
 
 // inverse applies π⁻¹ (x^d mod N).

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/store/kvstore"
 )
@@ -51,10 +52,17 @@ type UpdateEntry struct {
 	Delta int64 `json:"delta"`
 }
 
+// kwDerived is the cached per-keyword material: filter label + probe key.
+type kwDerived struct {
+	label primitives.Key // full PRF output; sliced when used as a label
+	probe primitives.Key
+}
+
 // Client is the gateway half.
 type Client struct {
 	keyLabel primitives.Key
 	keyProbe primitives.Key
+	kwKeys   *keycache.Cache[string, kwDerived]
 }
 
 // NewClient derives the ZMF client keys from key.
@@ -62,15 +70,30 @@ func NewClient(key primitives.Key) *Client {
 	return &Client{
 		keyLabel: primitives.PRFKey(key, []byte("zmf-label")),
 		keyProbe: primitives.PRFKey(key, []byte("zmf-probe")),
+		kwKeys:   keycache.New[string, kwDerived](keycache.DefaultSize),
 	}
 }
 
+func (c *Client) derived(namespace, w string) kwDerived {
+	ck := namespace + "\x00" + w
+	if d, ok := c.kwKeys.Get(ck); ok {
+		return d
+	}
+	d := kwDerived{
+		label: primitives.PRFKey(c.keyLabel, []byte(namespace), []byte{0}, []byte(w)),
+		probe: primitives.PRFKey(c.keyProbe, []byte(namespace), []byte{0}, []byte(w)),
+	}
+	c.kwKeys.Put(ck, d)
+	return d
+}
+
 func (c *Client) label(namespace, w string) []byte {
-	return primitives.PRF(c.keyLabel, []byte(namespace), []byte{0}, []byte(w))
+	d := c.derived(namespace, w)
+	return d.label[:]
 }
 
 func (c *Client) probeKey(namespace, w string) primitives.Key {
-	return primitives.PRFKey(c.keyProbe, []byte(namespace), []byte{0}, []byte(w))
+	return c.derived(namespace, w).probe
 }
 
 // positions derives the probe positions of id under a probe key.

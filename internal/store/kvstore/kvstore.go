@@ -5,7 +5,12 @@
 // and the cloud; this package provides the same contract in-process, with
 // optional append-only-file persistence.
 //
-// All operations are safe for concurrent use.
+// All operations are safe for concurrent use. The store is striped into
+// independently locked shards (the key hashes to a shard), so concurrent
+// server dispatch on different keys does not contend on one lock. AOF
+// records are serialized behind a dedicated writer mutex; operations on
+// the same key serialize on their shard lock before logging, and
+// operations on different keys commute, so replay order is equivalent.
 package kvstore
 
 import (
@@ -17,35 +22,62 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kvstore: store is closed")
 
-// Store is an in-memory key-value store with optional AOF persistence.
-// The zero value is not usable; construct with New or Open.
-type Store struct {
+// numShards is the striping factor. Power of two, sized well above typical
+// server-dispatch concurrency so shard collisions are rare.
+const numShards = 32
+
+// shard is one independently locked slice of the keyspace.
+type shard struct {
 	mu       sync.RWMutex
 	strings  map[string][]byte
 	hashes   map[string]map[string][]byte
 	sets     map[string]map[string]struct{}
 	counters map[string]int64
 	zsets    map[string][]zentry
-	closed   bool
+}
 
-	aof *bufio.Writer
-	f   *os.File
+// Store is an in-memory key-value store with optional AOF persistence.
+// The zero value is not usable; construct with New or Open.
+type Store struct {
+	shards [numShards]shard
+	closed atomic.Bool
+
+	// aofMu serializes AOF appends across shards; aof and f are set once
+	// at Open and never change afterwards.
+	aofMu sync.Mutex
+	aof   *bufio.Writer
+	f     *os.File
 }
 
 // New returns an empty in-memory store with no persistence.
 func New() *Store {
-	return &Store{
-		strings:  make(map[string][]byte),
-		hashes:   make(map[string]map[string][]byte),
-		sets:     make(map[string]map[string]struct{}),
-		counters: make(map[string]int64),
-		zsets:    make(map[string][]zentry),
+	s := &Store{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.strings = make(map[string][]byte)
+		sh.hashes = make(map[string]map[string][]byte)
+		sh.sets = make(map[string]map[string]struct{})
+		sh.counters = make(map[string]int64)
+		sh.zsets = make(map[string][]zentry)
 	}
+	return s
+}
+
+// shard returns the shard owning key.
+func (s *Store) shard(key []byte) *shard {
+	// FNV-1a over the key bytes.
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &s.shards[h%numShards]
 }
 
 // Open returns a store backed by an append-only file at path, replaying any
@@ -94,6 +126,7 @@ func (s *Store) replay(rec string) error {
 	if err != nil {
 		return fmt.Errorf("bad key encoding: %w", err)
 	}
+	sh := s.shard(key)
 	k := string(key)
 	arg := func(i int) ([]byte, error) {
 		if i >= len(parts) {
@@ -107,13 +140,13 @@ func (s *Store) replay(rec string) error {
 		if err != nil {
 			return err
 		}
-		s.strings[k] = v
+		sh.strings[k] = v
 	case "DEL":
-		delete(s.strings, k)
-		delete(s.hashes, k)
-		delete(s.sets, k)
-		delete(s.counters, k)
-		delete(s.zsets, k)
+		delete(sh.strings, k)
+		delete(sh.hashes, k)
+		delete(sh.sets, k)
+		delete(sh.counters, k)
+		delete(sh.zsets, k)
 	case "HSET":
 		f, err := arg(2)
 		if err != nil {
@@ -123,10 +156,10 @@ func (s *Store) replay(rec string) error {
 		if err != nil {
 			return err
 		}
-		h := s.hashes[k]
+		h := sh.hashes[k]
 		if h == nil {
 			h = make(map[string][]byte)
-			s.hashes[k] = h
+			sh.hashes[k] = h
 		}
 		h[string(f)] = v
 	case "HDEL":
@@ -134,16 +167,16 @@ func (s *Store) replay(rec string) error {
 		if err != nil {
 			return err
 		}
-		delete(s.hashes[k], string(f))
+		delete(sh.hashes[k], string(f))
 	case "SADD":
 		m, err := arg(2)
 		if err != nil {
 			return err
 		}
-		set := s.sets[k]
+		set := sh.sets[k]
 		if set == nil {
 			set = make(map[string]struct{})
-			s.sets[k] = set
+			sh.sets[k] = set
 		}
 		set[string(m)] = struct{}{}
 	case "SREM":
@@ -151,7 +184,7 @@ func (s *Store) replay(rec string) error {
 		if err != nil {
 			return err
 		}
-		delete(s.sets[k], string(m))
+		delete(sh.sets[k], string(m))
 	case "INCR":
 		d, err := arg(2)
 		if err != nil {
@@ -161,7 +194,7 @@ func (s *Store) replay(rec string) error {
 		if _, err := fmt.Sscanf(string(d), "%d", &delta); err != nil {
 			return fmt.Errorf("bad INCR delta: %w", err)
 		}
-		s.counters[k] += delta
+		sh.counters[k] += delta
 	case "ZADD", "ZREM":
 		return s.replayZ(op, key, parts)
 	default:
@@ -170,8 +203,10 @@ func (s *Store) replay(rec string) error {
 	return nil
 }
 
-// log appends a record to the AOF if persistence is enabled. Caller must
-// hold s.mu.
+// log appends a record to the AOF if persistence is enabled. Callers hold
+// their shard lock, which serializes same-key records; records for
+// different keys may interleave in any order, which is safe because they
+// commute under replay.
 func (s *Store) log(op string, args ...[]byte) {
 	if s.aof == nil {
 		return
@@ -181,30 +216,35 @@ func (s *Store) log(op string, args ...[]byte) {
 	for _, a := range args {
 		rec = append(rec, enc(a))
 	}
-	fmt.Fprintln(s.aof, strings.Join(rec, " "))
+	line := strings.Join(rec, " ")
+	s.aofMu.Lock()
+	fmt.Fprintln(s.aof, line)
+	s.aofMu.Unlock()
 }
 
 // Set stores value under key.
 func (s *Store) Set(key, value []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	cp := append([]byte(nil), value...)
-	s.strings[string(key)] = cp
+	sh.strings[string(key)] = cp
 	s.log("SET", key, value)
 	return nil
 }
 
 // Get returns the value for key and whether it exists.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	v, ok := s.strings[string(key)]
+	v, ok := sh.strings[string(key)]
 	if !ok {
 		return nil, false, nil
 	}
@@ -213,32 +253,34 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 
 // Del removes key from all namespaces (string, hash, set, counter).
 func (s *Store) Del(key []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	k := string(key)
-	delete(s.strings, k)
-	delete(s.hashes, k)
-	delete(s.sets, k)
-	delete(s.counters, k)
-	delete(s.zsets, k)
+	delete(sh.strings, k)
+	delete(sh.hashes, k)
+	delete(sh.sets, k)
+	delete(sh.counters, k)
+	delete(sh.zsets, k)
 	s.log("DEL", key)
 	return nil
 }
 
 // HSet stores value under (key, field) in a hash map.
 func (s *Store) HSet(key, field, value []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	h := s.hashes[string(key)]
+	h := sh.hashes[string(key)]
 	if h == nil {
 		h = make(map[string][]byte)
-		s.hashes[string(key)] = h
+		sh.hashes[string(key)] = h
 	}
 	h[string(field)] = append([]byte(nil), value...)
 	s.log("HSET", key, field, value)
@@ -247,12 +289,13 @@ func (s *Store) HSet(key, field, value []byte) error {
 
 // HGet returns the value for (key, field) and whether it exists.
 func (s *Store) HGet(key, field []byte) ([]byte, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	v, ok := s.hashes[string(key)][string(field)]
+	v, ok := sh.hashes[string(key)][string(field)]
 	if !ok {
 		return nil, false, nil
 	}
@@ -261,34 +304,37 @@ func (s *Store) HGet(key, field []byte) ([]byte, bool, error) {
 
 // HDel removes field from the hash at key.
 func (s *Store) HDel(key, field []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	delete(s.hashes[string(key)], string(field))
+	delete(sh.hashes[string(key)], string(field))
 	s.log("HDEL", key, field)
 	return nil
 }
 
 // HLen returns the number of fields in the hash at key.
 func (s *Store) HLen(key []byte) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	return len(s.hashes[string(key)]), nil
+	return len(sh.hashes[string(key)]), nil
 }
 
 // HFields returns the field names of the hash at key, sorted.
 func (s *Store) HFields(key []byte) ([][]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	h := s.hashes[string(key)]
+	h := sh.hashes[string(key)]
 	names := make([]string, 0, len(h))
 	for f := range h {
 		names = append(names, f)
@@ -303,15 +349,16 @@ func (s *Store) HFields(key []byte) ([][]byte, error) {
 
 // SAdd adds member to the set at key.
 func (s *Store) SAdd(key, member []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	set := s.sets[string(key)]
+	set := sh.sets[string(key)]
 	if set == nil {
 		set = make(map[string]struct{})
-		s.sets[string(key)] = set
+		sh.sets[string(key)] = set
 	}
 	set[string(member)] = struct{}{}
 	s.log("SADD", key, member)
@@ -320,24 +367,26 @@ func (s *Store) SAdd(key, member []byte) error {
 
 // SRem removes member from the set at key.
 func (s *Store) SRem(key, member []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	delete(s.sets[string(key)], string(member))
+	delete(sh.sets[string(key)], string(member))
 	s.log("SREM", key, member)
 	return nil
 }
 
 // SMembers returns the members of the set at key, sorted.
 func (s *Store) SMembers(key []byte) ([][]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	set := s.sets[string(key)]
+	set := sh.sets[string(key)]
 	members := make([]string, 0, len(set))
 	for m := range set {
 		members = append(members, m)
@@ -352,61 +401,68 @@ func (s *Store) SMembers(key []byte) ([][]byte, error) {
 
 // SCard returns the cardinality of the set at key.
 func (s *Store) SCard(key []byte) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	return len(s.sets[string(key)]), nil
+	return len(sh.sets[string(key)]), nil
 }
 
 // SIsMember reports whether member is in the set at key.
 func (s *Store) SIsMember(key, member []byte) (bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return false, ErrClosed
 	}
-	_, ok := s.sets[string(key)][string(member)]
+	_, ok := sh.sets[string(key)][string(member)]
 	return ok, nil
 }
 
 // Incr adds delta to the counter at key and returns the new value.
 func (s *Store) Incr(key []byte, delta int64) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	s.counters[string(key)] += delta
+	sh.counters[string(key)] += delta
 	s.log("INCR", key, []byte(fmt.Sprintf("%d", delta)))
-	return s.counters[string(key)], nil
+	return sh.counters[string(key)], nil
 }
 
 // Counter returns the current counter value at key (0 if unset).
 func (s *Store) Counter(key []byte) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	return s.counters[string(key)], nil
+	return sh.counters[string(key)], nil
 }
 
 // Keys returns all string keys with the given prefix, sorted. It exists for
 // administrative tooling and tests; tactics never enumerate keys.
 func (s *Store) Keys(prefix []byte) ([][]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	var keys []string
 	p := string(prefix)
-	for k := range s.strings {
-		if strings.HasPrefix(k, p) {
-			keys = append(keys, k)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.strings {
+			if strings.HasPrefix(k, p) {
+				keys = append(keys, k)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	out := make([][]byte, len(keys))
@@ -418,24 +474,29 @@ func (s *Store) Keys(prefix []byte) ([][]byte, error) {
 
 // Len returns the total number of top-level keys across all namespaces.
 func (s *Store) Len() (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	return len(s.strings) + len(s.hashes) + len(s.sets) + len(s.counters) + len(s.zsets), nil
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.strings) + len(sh.hashes) + len(sh.sets) + len(sh.counters) + len(sh.zsets)
+		sh.mu.RUnlock()
+	}
+	return n, nil
 }
 
 // Sync flushes buffered AOF writes to the operating system.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.aof == nil {
 		return nil
 	}
+	s.aofMu.Lock()
+	defer s.aofMu.Unlock()
 	if err := s.aof.Flush(); err != nil {
 		return fmt.Errorf("kvstore: flushing AOF: %w", err)
 	}
@@ -445,12 +506,18 @@ func (s *Store) Sync() error {
 // Close flushes and closes the store. Subsequent operations return
 // ErrClosed. Close is idempotent.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
+	// Drain: an in-flight operation that passed its closed check still
+	// holds its shard lock until it has appended to the AOF; cycling every
+	// shard lock waits all of them out before the final flush.
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the drain
+	}
+	s.aofMu.Lock()
+	defer s.aofMu.Unlock()
 	if s.aof != nil {
 		if err := s.aof.Flush(); err != nil {
 			s.f.Close()

@@ -34,16 +34,14 @@ func zfind(z []zentry, e zentry) (int, bool) {
 // ciphertexts) therefore order numerically. Duplicate (score, member)
 // pairs are ignored.
 func (s *Store) ZAdd(key, score, member []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if s.zsets == nil {
-		s.zsets = make(map[string][]zentry)
-	}
 	e := zentry{score: append([]byte(nil), score...), member: append([]byte(nil), member...)}
-	z := s.zsets[string(key)]
+	z := sh.zsets[string(key)]
 	i, exists := zfind(z, e)
 	if exists {
 		return nil
@@ -51,24 +49,25 @@ func (s *Store) ZAdd(key, score, member []byte) error {
 	z = append(z, zentry{})
 	copy(z[i+1:], z[i:])
 	z[i] = e
-	s.zsets[string(key)] = z
+	sh.zsets[string(key)] = z
 	s.log("ZADD", key, score, member)
 	return nil
 }
 
 // ZRem removes (score, member) from the sorted set at key.
 func (s *Store) ZRem(key, score, member []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	z := s.zsets[string(key)]
+	z := sh.zsets[string(key)]
 	i, exists := zfind(z, zentry{score: score, member: member})
 	if !exists {
 		return nil
 	}
-	s.zsets[string(key)] = append(z[:i], z[i+1:]...)
+	sh.zsets[string(key)] = append(z[:i], z[i+1:]...)
 	s.log("ZREM", key, score, member)
 	return nil
 }
@@ -82,12 +81,13 @@ type ZPair struct {
 // ZRangeByScore returns the elements whose score lies between lo and hi.
 // Nil bounds are unbounded; inclusivity is per bound.
 func (s *Store) ZRangeByScore(key, lo, hi []byte, loInc, hiInc bool) ([]ZPair, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	z := s.zsets[string(key)]
+	z := sh.zsets[string(key)]
 	start := 0
 	if lo != nil {
 		start = sort.Search(len(z), func(i int) bool {
@@ -123,12 +123,13 @@ func (s *Store) ZRangeByScore(key, lo, hi []byte, loInc, hiInc bool) ([]ZPair, e
 
 // ZCard returns the cardinality of the sorted set at key.
 func (s *Store) ZCard(key []byte) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	return len(s.zsets[string(key)]), nil
+	return len(sh.zsets[string(key)]), nil
 }
 
 // replayZ applies ZADD/ZREM AOF records; called from replay.
@@ -144,11 +145,9 @@ func (s *Store) replayZ(op string, key []byte, parts []string) error {
 	if err != nil {
 		return err
 	}
-	if s.zsets == nil {
-		s.zsets = make(map[string][]zentry)
-	}
+	sh := s.shard(key)
 	e := zentry{score: score, member: member}
-	z := s.zsets[string(key)]
+	z := sh.zsets[string(key)]
 	i, exists := zfind(z, e)
 	switch op {
 	case "ZADD":
@@ -158,10 +157,10 @@ func (s *Store) replayZ(op string, key []byte, parts []string) error {
 		z = append(z, zentry{})
 		copy(z[i+1:], z[i:])
 		z[i] = e
-		s.zsets[string(key)] = z
+		sh.zsets[string(key)] = z
 	case "ZREM":
 		if exists {
-			s.zsets[string(key)] = append(z[:i], z[i+1:]...)
+			sh.zsets[string(key)] = append(z[:i], z[i+1:]...)
 		}
 	}
 	return nil

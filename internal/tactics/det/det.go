@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -85,11 +86,15 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	ciphers *keycache.Cache[string, *primitives.DET]
 }
 
 // New constructs the gateway half.
 func New(b spi.Binding) (spi.Tactic, error) {
-	return &Tactic{binding: b}, nil
+	return &Tactic{
+		binding: b,
+		ciphers: keycache.New[string, *primitives.DET](keycache.DefaultSize),
+	}, nil
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -104,16 +109,20 @@ func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
 // derivation, which happens lazily per field.
 func (t *Tactic) Setup(context.Context) error { return nil }
 
+// cipher returns the per-field deterministic cipher, constructing it at
+// most once per field (cipher construction re-runs the AES key schedule).
 func (t *Tactic) cipher(field string) (*primitives.DET, error) {
-	enc, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
-	if err != nil {
-		return nil, err
-	}
-	mac, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "mac"})
-	if err != nil {
-		return nil, err
-	}
-	return primitives.NewDET(enc, mac)
+	return t.ciphers.GetOrCompute(field, func() (*primitives.DET, error) {
+		enc, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
+		if err != nil {
+			return nil, err
+		}
+		mac, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "mac"})
+		if err != nil {
+			return nil, err
+		}
+		return primitives.NewDET(enc, mac)
+	})
 }
 
 func (t *Tactic) encrypt(field string, value any) ([]byte, error) {

@@ -12,6 +12,7 @@
 package paillier
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -35,6 +36,14 @@ const Service = "agg"
 // benchmark workloads tractable while exercising the full protocol; raise
 // to 2048+ for production deployments.
 const KeyBits = 1024
+
+// randPoolSize is how many precomputed encryption masks the gateway keeps
+// ready; inserts draw one mask per encrypted value. The cloud side keeps a
+// smaller pool since it only encrypts the zero accumulator per sum request.
+const (
+	randPoolSize      = 128
+	cloudRandPoolSize = 16
+)
 
 // RPC payloads.
 type (
@@ -173,6 +182,7 @@ func (t *Tactic) Setup(ctx context.Context) error {
 		SetupArgs{Schema: t.binding.Schema, N: sk.PublicKey.Bytes()}, nil); err != nil {
 		return fmt.Errorf("paillier: registering public key: %w", err)
 	}
+	sk.EnableRandPool(randPoolSize)
 	t.sk = sk
 	return nil
 }
@@ -261,6 +271,24 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 	colKey := func(schema, field string) []byte {
 		return []byte(fmt.Sprintf("aggidx/%s/%s", schema, field))
 	}
+	// Parsing a public key recomputes n², so cache the parsed key (with an
+	// attached mask pool) per schema instead of rebuilding it per request.
+	var pkMu sync.Mutex
+	pkCache := make(map[string]*cryptopaillier.PublicKey)
+	cachedPK := func(schema string, nBytes []byte) (*cryptopaillier.PublicKey, error) {
+		pkMu.Lock()
+		defer pkMu.Unlock()
+		if pk, ok := pkCache[schema]; ok && bytes.Equal(pk.Bytes(), nBytes) {
+			return pk, nil
+		}
+		pk, err := cryptopaillier.PublicKeyFromN(nBytes)
+		if err != nil {
+			return nil, err
+		}
+		pk.EnableRandPool(cloudRandPoolSize)
+		pkCache[schema] = pk
+		return pk, nil
+	}
 	mux.Handle(Service, "setup", func(_ context.Context, payload json.RawMessage) (any, error) {
 		var in SetupArgs
 		if err := json.Unmarshal(payload, &in); err != nil {
@@ -294,7 +322,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		if !ok {
 			return nil, fmt.Errorf("paillier: schema %q has no registered public key", in.Schema)
 		}
-		pk, err := cryptopaillier.PublicKeyFromN(nBytes)
+		pk, err := cachedPK(in.Schema, nBytes)
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -91,11 +92,15 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	aeads   *keycache.Cache[string, *primitives.AEAD]
 }
 
 // New constructs the gateway half.
 func New(b spi.Binding) (spi.Tactic, error) {
-	return &Tactic{binding: b}, nil
+	return &Tactic{
+		binding: b,
+		aeads:   keycache.New[string, *primitives.AEAD](keycache.DefaultSize),
+	}, nil
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -109,12 +114,16 @@ func (t *Tactic) Descriptor() spi.Descriptor { return Describe() }
 // Setup implements spi.Tactic.
 func (t *Tactic) Setup(context.Context) error { return nil }
 
+// aead returns the per-field cipher, constructing it at most once per
+// field (construction re-runs the AES key schedule and GCM setup).
 func (t *Tactic) aead(field string) (*primitives.AEAD, error) {
-	k, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
-	if err != nil {
-		return nil, err
-	}
-	return primitives.NewAEAD(k)
+	return t.aeads.GetOrCompute(field, func() (*primitives.AEAD, error) {
+		k, err := t.binding.Keys.Key(keys.Ref{Schema: t.binding.Schema, Field: field, Tactic: Name, Purpose: "enc"})
+		if err != nil {
+			return nil, err
+		}
+		return primitives.NewAEAD(k)
+	})
 }
 
 // Insert implements spi.Inserter.

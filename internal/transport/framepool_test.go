@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestFramePoolReuseKeepsPayloadsIntact writes and reads many frames
+// through the shared buffer pools and checks that payloads decoded from
+// earlier frames are not clobbered by later ones (i.e. nothing decoded
+// aliases a recycled buffer).
+func TestFramePoolReuseKeepsPayloadsIntact(t *testing.T) {
+	const frames = 64
+	reqs := make([]request, frames)
+	var buf bytes.Buffer
+	for i := 0; i < frames; i++ {
+		payload, _ := json.Marshal(map[string]int{"seq": i})
+		in := &request{ID: uint64(i), Service: "svc", Method: "m", Payload: payload}
+		if err := writeFrame(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		if err := readFrame(&buf, &reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range reqs {
+		var got map[string]int
+		if err := json.Unmarshal(reqs[i].Payload, &got); err != nil {
+			t.Fatalf("frame %d payload corrupted: %v (%q)", i, err, reqs[i].Payload)
+		}
+		if got["seq"] != i {
+			t.Fatalf("frame %d payload = %v, want seq %d", i, got, i)
+		}
+	}
+}
+
+// TestFramePoolConcurrent hammers the pools from parallel goroutines under
+// -race: independent pipes, shared sync.Pools.
+func TestFramePoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for i := 0; i < 200; i++ {
+				in := &request{ID: uint64(g*1000 + i), Service: "s", Method: "m"}
+				if err := writeFrame(&buf, in); err != nil {
+					t.Errorf("writeFrame: %v", err)
+					return
+				}
+				var out request
+				if err := readFrame(&buf, &out); err != nil {
+					t.Errorf("readFrame: %v", err)
+					return
+				}
+				if out.ID != in.ID {
+					t.Errorf("frame id = %d, want %d", out.ID, in.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkFrameWrite measures the encode path with pooled buffers.
+func BenchmarkFrameWrite(b *testing.B) {
+	payload, _ := json.Marshal(map[string]string{"field": "value", "doc": "doc-123456"})
+	req := &request{ID: 7, Service: "det", Method: "add", Payload: payload}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := writeFrame(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameRoundTrip measures encode + decode of a typical request.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload, _ := json.Marshal(map[string]string{"field": "value", "doc": "doc-123456"})
+	req := &request{ID: 7, Service: "det", Method: "add", Payload: payload}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeFrame(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+		var out request
+		if err := readFrame(&buf, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -181,21 +182,40 @@ type Conn interface {
 	Close() error
 }
 
-// writeFrame writes one length-prefixed JSON value.
+// maxPooledBuf caps the capacity of recycled frame buffers so one huge
+// frame does not pin megabytes in the pools forever.
+const maxPooledBuf = 64 << 10
+
+// framePools recycle the encode buffer (header + JSON body, written as a
+// single frame) and the decode body across frames. Decoded values do not
+// alias the pooled body: json.RawMessage.UnmarshalJSON copies its input,
+// and every other frame field is a string or number.
+var (
+	encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	bodyPool   = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+)
+
+// writeFrame writes one length-prefixed JSON value as a single Write.
 func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			encBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("transport: encoding frame: %w", err)
 	}
+	frame := buf.Bytes()
+	frame = frame[:len(frame)-1] // drop the Encoder's trailing newline
+	body := frame[4:]
 	if len(body) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	_, err := w.Write(frame)
 	return err
 }
 
@@ -209,7 +229,17 @@ func readFrame(r io.Reader, v any) error {
 	if n > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	body := make([]byte, n)
+	bp := bodyPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
+	defer func() {
+		if cap(body) <= maxPooledBuf {
+			*bp = body
+			bodyPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
 	}
