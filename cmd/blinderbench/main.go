@@ -9,6 +9,7 @@
 //	blinderbench -experiment latency  # only the latency table
 //	blinderbench -experiment concurrency   # fan-out + pipelining speedups
 //	blinderbench -experiment hotpath  # A/B the crypto hot-path caches
+//	blinderbench -experiment sharding # 1/2/4/8-shard cloud-tier scaling
 //	blinderbench -requests 151000 -users 1000   # the paper's full scale
 //
 // Each scenario runs against a fresh in-process cloud node over the
@@ -33,8 +34,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | all")
+	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | all")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath experiment's JSON result")
+	shardingOut := flag.String("sharding-out", "BENCH_sharding.json", "output path for the sharding experiment's JSON result")
 	users := flag.Int("users", 64, "concurrent virtual users (paper: 1000)")
 	requests := flag.Int("requests", 4500, "total requests, split insert/search/aggregate (paper: ~151000)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -47,16 +49,35 @@ func main() {
 		}
 	})
 
-	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut); err != nil {
+	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut); err != nil {
 		log.Fatalf("blinderbench: %v", err)
 	}
 }
 
-func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut string) error {
+func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut string) error {
 	switch experiment {
-	case "fig5", "latency", "concurrency", "hotpath", "all":
+	case "fig5", "latency", "concurrency", "hotpath", "sharding", "all":
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, or all)", experiment)
+	}
+
+	if experiment == "sharding" || experiment == "all" {
+		cfg := bench.DefaultShardingConfig()
+		cfg.Seed = seed
+		fmt.Fprintf(os.Stderr, "running sharding experiment (shard counts %v, %d inserts + %d queries per tier)...\n",
+			cfg.ShardCounts, cfg.Inserts, cfg.EqQueries+cfg.BoolQueries+cfg.RangeQueries)
+		r, err := bench.RunSharding(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatSharding(r))
+		if err := bench.WriteShardingJSON(r, shardingOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", shardingOut)
+		if experiment == "sharding" {
+			return nil
+		}
 	}
 
 	if experiment == "hotpath" || experiment == "all" {

@@ -4,19 +4,28 @@
 //
 // Usage:
 //
-//	cloudserver -listen 127.0.0.1:7700 [-data ./cloud-data] [-pprof addr]
+//	cloudserver -listen 127.0.0.1:7700 [-shards 4] [-data ./cloud-data] [-pprof addr]
 //
 // With -data, the key-value index store persists to an append-only file
 // and the document store snapshots to JSON files on shutdown.
+//
+// With -shards N (N > 1), the process hosts N independent cloud nodes —
+// disjoint stores, one listener each — on consecutive ports starting at
+// -listen's port. Shard i persists under <data>/shard-<i>. This is the
+// single-machine way to stand up a sharded tier; production deployments
+// run one cloudserver per machine and list every address in the gateway's
+// -shard-addrs flag instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 
 	"datablinder/internal/cloud"
@@ -25,7 +34,8 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7700", "address to serve the gateway RPC protocol on")
+	listen := flag.String("listen", "127.0.0.1:7700", "address to serve the gateway RPC protocol on (with -shards N, the first of N consecutive ports)")
+	shards := flag.Int("shards", 1, "number of independent cloud nodes to host (consecutive ports from -listen)")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
@@ -36,34 +46,72 @@ func main() {
 	}
 	defer stopPprof()
 
-	if err := run(*listen, *dataDir); err != nil {
+	if err := run(*listen, *shards, *dataDir); err != nil {
 		log.Fatalf("cloudserver: %v", err)
 	}
 }
 
-func run(listen, dataDir string) error {
-	opts := cloud.Options{}
-	if dataDir != "" {
-		if err := os.MkdirAll(dataDir, 0o700); err != nil {
-			return fmt.Errorf("creating data dir: %w", err)
-		}
-		opts.KVPath = filepath.Join(dataDir, "index.aof")
-		opts.DocDir = filepath.Join(dataDir, "docs")
+// shardAddrs expands a base listen address into n consecutive-port
+// addresses (shard i listens on port+i).
+func shardAddrs(listen string, n int) ([]string, error) {
+	if n <= 1 {
+		return []string{listen}, nil
 	}
-	node, err := cloud.NewNode(opts)
+	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("parsing -listen: %w", err)
 	}
-	defer node.Close()
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -listen port: %w", err)
+	}
+	if port == 0 {
+		return nil, fmt.Errorf("-shards > 1 needs an explicit base port, not :0")
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return addrs, nil
+}
 
-	srv := transport.NewServer(node.Mux)
-	addr, err := srv.Listen(listen)
+func run(listen string, shards int, dataDir string) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
+	}
+	addrs, err := shardAddrs(listen, shards)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-	log.Printf("cloudserver: serving %d RPC methods on %s (persistence: %v)",
-		len(node.Mux.Services()), addr, dataDir != "")
+
+	for i, shardAddr := range addrs {
+		opts := cloud.Options{}
+		if dataDir != "" {
+			dir := dataDir
+			if shards > 1 {
+				dir = filepath.Join(dataDir, fmt.Sprintf("shard-%d", i))
+			}
+			if err := os.MkdirAll(dir, 0o700); err != nil {
+				return fmt.Errorf("creating data dir: %w", err)
+			}
+			opts.KVPath = filepath.Join(dir, "index.aof")
+			opts.DocDir = filepath.Join(dir, "docs")
+		}
+		node, err := cloud.NewNode(opts)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+
+		srv := transport.NewServer(node.Mux)
+		addr, err := srv.Listen(shardAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("cloudserver: shard %d/%d serving %d RPC methods on %s (persistence: %v)",
+			i+1, shards, len(node.Mux.Services()), addr, dataDir != "")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

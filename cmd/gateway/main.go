@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gateway [-cloud 127.0.0.1:7700] [-key master.key] [-state gw.aof] [-pprof addr] <command> [args]
+//	gateway [-cloud 127.0.0.1:7700 | -shard-addrs a:1,b:2,...] [-key master.key] [-state gw.aof] [-pprof addr] <command> [args]
 //
 // Commands:
 //
@@ -20,6 +20,11 @@
 //
 // The master key file is created on first use; the state file persists
 // tactic counters and schemas across gateway restarts.
+//
+// -shard-addrs routes to a sharded cloud tier (comma-separated, one
+// address per shard). The list is positional: pass the same addresses in
+// the same order on every start, or routing keys will resolve to the
+// wrong shards.
 package main
 
 import (
@@ -39,7 +44,8 @@ import (
 )
 
 func main() {
-	cloudAddr := flag.String("cloud", "127.0.0.1:7700", "cloudserver address")
+	cloudAddr := flag.String("cloud", "127.0.0.1:7700", "cloudserver address (single node)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated sharded cloud tier addresses (overrides -cloud; order is positional shard identity)")
 	keyPath := flag.String("key", "datablinder-master.key", "master key file (created if absent)")
 	statePath := flag.String("state", "datablinder-gateway.aof", "gateway state file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
@@ -58,12 +64,21 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	client, err := datablinder.Open(ctx, datablinder.Options{
-		CloudAddr:      *cloudAddr,
+	opts := datablinder.Options{
 		MasterKeyPath:  *keyPath,
 		CreateKey:      true,
 		LocalStatePath: *statePath,
-	})
+	}
+	if *shardAddrs != "" {
+		for _, addr := range strings.Split(*shardAddrs, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				opts.CloudAddrs = append(opts.CloudAddrs, addr)
+			}
+		}
+	} else {
+		opts.CloudAddr = *cloudAddr
+	}
+	client, err := datablinder.Open(ctx, opts)
 	if err != nil {
 		log.Fatalf("gateway: %v", err)
 	}

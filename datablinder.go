@@ -33,8 +33,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/core"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -157,13 +159,28 @@ func PlainField(name string, ft FieldType) Field {
 // Options configures Open.
 type Options struct {
 	// CloudAddr is the TCP address of a running cloudserver. Mutually
-	// exclusive with InProcessCloud.
+	// exclusive with InProcessCloud and CloudAddrs.
 	CloudAddr string
+	// CloudAddrs lists the TCP addresses of a sharded cloud tier, one per
+	// shard. Order matters: shard identity is positional, so the same list
+	// (in the same order) must be passed on every gateway start or routing
+	// keys will resolve to the wrong nodes. One address behaves exactly
+	// like CloudAddr.
+	CloudAddrs []string
 	// InProcessCloud embeds a cloud node in this process (single-process
 	// demos, tests, benchmarks).
 	InProcessCloud bool
-	// PoolSize is the TCP connection pool size (CloudAddr mode).
+	// Shards is the number of embedded cloud nodes in InProcessCloud mode
+	// (0 or 1 = single node, the pre-sharding behavior). Persistence paths
+	// get a per-shard "shard-<i>" suffix/subdirectory.
+	Shards int
+	// PoolSize is the per-shard TCP connection pool size (CloudAddr /
+	// CloudAddrs modes).
 	PoolSize int
+	// VirtualNodes is the consistent-hash virtual node count per shard
+	// (0 = ring.DefaultVirtualNodes). All gateways of one deployment must
+	// agree on it.
+	VirtualNodes int
 
 	// MasterKeyPath loads (or, with CreateKey, creates) the gateway master
 	// key file. Empty means an ephemeral random key.
@@ -188,18 +205,22 @@ type Client struct {
 	engine *core.Engine
 	local  *kvstore.Store
 	conn   transport.Conn
-	node   *cloud.Node // non-nil in in-process mode
+	nodes  []*cloud.Node // non-empty in in-process mode (one per shard)
 }
 
 // Open assembles a gateway: key management, local state, cloud channel,
 // tactic registry, and the middleware core. It restores previously
 // registered schemas from persistent local state.
 func Open(ctx context.Context, opts Options) (*Client, error) {
-	if opts.CloudAddr == "" && !opts.InProcessCloud {
-		return nil, errors.New("datablinder: Options needs CloudAddr or InProcessCloud")
+	remote := opts.CloudAddr != "" || len(opts.CloudAddrs) > 0
+	if !remote && !opts.InProcessCloud {
+		return nil, errors.New("datablinder: Options needs CloudAddr(s) or InProcessCloud")
 	}
-	if opts.CloudAddr != "" && opts.InProcessCloud {
-		return nil, errors.New("datablinder: CloudAddr and InProcessCloud are mutually exclusive")
+	if remote && opts.InProcessCloud {
+		return nil, errors.New("datablinder: CloudAddr(s) and InProcessCloud are mutually exclusive")
+	}
+	if opts.CloudAddr != "" && len(opts.CloudAddrs) > 0 {
+		return nil, errors.New("datablinder: CloudAddr and CloudAddrs are mutually exclusive")
 	}
 
 	var provider *keys.Store
@@ -232,20 +253,49 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 
 	client := &Client{local: local}
 	if opts.InProcessCloud {
-		node, err := cloud.NewNode(cloud.Options{KVPath: opts.CloudKVPath, DocDir: opts.CloudDocDir})
-		if err != nil {
-			local.Close()
-			return nil, err
+		n := opts.Shards
+		if n < 1 {
+			n = 1
 		}
-		client.node = node
-		client.conn = transport.NewLoopback(node.Mux)
+		conns := make([]transport.Conn, 0, n)
+		for i := 0; i < n; i++ {
+			kvPath, docDir := opts.CloudKVPath, opts.CloudDocDir
+			if n > 1 {
+				// Each shard persists independently, like separate nodes.
+				if kvPath != "" {
+					kvPath = fmt.Sprintf("%s.shard-%d", kvPath, i)
+				}
+				if docDir != "" {
+					docDir = filepath.Join(docDir, fmt.Sprintf("shard-%d", i))
+				}
+			}
+			node, err := cloud.NewNode(cloud.Options{KVPath: kvPath, DocDir: docDir})
+			if err != nil {
+				client.Close()
+				return nil, err
+			}
+			client.nodes = append(client.nodes, node)
+			conns = append(conns, transport.NewLoopback(node.Mux))
+		}
+		client.conn = shardConn(conns, opts.VirtualNodes)
 	} else {
-		conn, err := transport.Dial(opts.CloudAddr, transport.DialOptions{PoolSize: opts.PoolSize})
-		if err != nil {
-			local.Close()
-			return nil, err
+		addrs := opts.CloudAddrs
+		if len(addrs) == 0 {
+			addrs = []string{opts.CloudAddr}
 		}
-		client.conn = conn
+		conns := make([]transport.Conn, 0, len(addrs))
+		for _, addr := range addrs {
+			conn, err := transport.Dial(addr, transport.DialOptions{PoolSize: opts.PoolSize})
+			if err != nil {
+				for _, c := range conns {
+					c.Close()
+				}
+				local.Close()
+				return nil, fmt.Errorf("datablinder: dialing shard %s: %w", addr, err)
+			}
+			conns = append(conns, conn)
+		}
+		client.conn = shardConn(conns, opts.VirtualNodes)
 	}
 
 	registry, err := tactics.Registry()
@@ -271,6 +321,16 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 	return client, nil
 }
 
+// shardConn wraps shard connections for the engine: a single connection
+// passes through untouched (the pre-sharding fast path — no ring, no
+// hashing), several front a consistent-hash ring client.
+func shardConn(conns []transport.Conn, vnodes int) transport.Conn {
+	if len(conns) == 1 {
+		return conns[0]
+	}
+	return ring.NewClient(conns, vnodes)
+}
+
 // Close releases the cloud connection and local state. It is idempotent.
 func (c *Client) Close() error {
 	var first error
@@ -279,8 +339,8 @@ func (c *Client) Close() error {
 			first = err
 		}
 	}
-	if c.node != nil {
-		if err := c.node.Close(); err != nil && first == nil {
+	for _, node := range c.nodes {
+		if err := node.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

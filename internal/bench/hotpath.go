@@ -100,6 +100,9 @@ type HotpathResult struct {
 	PaillierSpeedup float64 `json:"paillier_speedup"`
 
 	Config HotpathConfig `json:"config"`
+	// Meta is stamped by WriteHotpathJSON, not RunHotpath, so in-memory
+	// results stay free of machine identity until they are persisted.
+	Meta Meta `json:"meta"`
 }
 
 // setHotpathToggles flips every hot-path optimization at once.
@@ -330,8 +333,10 @@ func RunHotpath(ctx context.Context, cfg HotpathConfig) (HotpathResult, error) {
 	return r, nil
 }
 
-// WriteHotpathJSON writes the result to path as indented JSON.
+// WriteHotpathJSON writes the result to path as indented JSON, stamped
+// with build/machine provenance.
 func WriteHotpathJSON(r HotpathResult, path string) error {
+	r.Meta = CollectMeta()
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,43 @@
+// Benchmark provenance: every BENCH_*.json blinderbench writes embeds the
+// git commit, Go version, GOMAXPROCS, and a UTC timestamp, so results
+// collected across PRs (the repo's perf trajectory) stay comparable — a
+// number without its commit and core count is noise.
+
+package bench
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Meta identifies the build and machine a benchmark result came from.
+type Meta struct {
+	// GitCommit is the abbreviated HEAD hash, or "unknown" outside a git
+	// checkout (e.g. a copied binary run from an empty directory).
+	GitCommit string `json:"git_commit"`
+	// GoVersion is runtime.Version() of the binary that produced the result.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the scheduler width at collection time — the single
+	// biggest lever on every concurrency number in these files.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Timestamp is the collection time in RFC 3339 UTC.
+	Timestamp string `json:"timestamp_utc"`
+}
+
+// CollectMeta gathers provenance for a result about to be written.
+func CollectMeta() Meta {
+	m := Meta{
+		GitCommit:  "unknown",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if commit := strings.TrimSpace(string(out)); commit != "" {
+			m.GitCommit = commit
+		}
+	}
+	return m
+}

@@ -95,6 +95,18 @@ type (
 	}
 )
 
+// AdminService is the RPC service name of the node-introspection surface.
+const AdminService = "admin"
+
+// StatsReply reports one node's storage footprint: per-namespace index
+// statistics and per-collection document counts. The sharding benchmark
+// gathers it from every shard to verify consistent-hash routing spreads
+// each index family evenly; operators can hit it next to -pprof.
+type StatsReply struct {
+	Namespaces  map[string]kvstore.NamespaceStats `json:"namespaces"`
+	Collections map[string]int                    `json:"collections"`
+}
+
 // Options configures a cloud node.
 type Options struct {
 	// KVPath enables AOF persistence for the index store.
@@ -138,7 +150,30 @@ func NewNode(opts Options) (*Node, error) {
 	mux := transport.NewMux()
 	tactics.RegisterCloud(mux, kv)
 	registerDocService(mux, docs)
+	registerAdminService(mux, kv, docs)
 	return &Node{KV: kv, Docs: docs, Mux: mux}, nil
+}
+
+func registerAdminService(mux *transport.Mux, kv *kvstore.Store, docs *docstore.Store) {
+	mux.Handle(AdminService, "stats", func(_ context.Context, _ json.RawMessage) (any, error) {
+		ns, err := kv.Stats()
+		if err != nil {
+			return nil, err
+		}
+		cols := make(map[string]int)
+		names, err := docs.Collections()
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range names {
+			n, err := docs.Count(col)
+			if err != nil {
+				return nil, err
+			}
+			cols[col] = n
+		}
+		return StatsReply{Namespaces: ns, Collections: cols}, nil
+	})
 }
 
 // Close flushes and closes both stores.

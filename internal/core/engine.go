@@ -22,11 +22,13 @@ import (
 	"time"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/conc"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
+	"datablinder/internal/store/docstore"
 	"datablinder/internal/store/kvstore"
 	"datablinder/internal/transport"
 )
@@ -63,6 +65,7 @@ type Config struct {
 type Engine struct {
 	keys     keys.Provider
 	cloud    transport.Conn
+	shards   *ring.Ring // routing view of cloud: 1 shard unless cloud fronts a ring
 	local    *kvstore.Store
 	registry *spi.Registry
 	seq      bool
@@ -92,6 +95,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return &Engine{
 		keys:     cfg.Keys,
 		cloud:    cfg.Cloud,
+		shards:   ring.Of(cfg.Cloud),
 		local:    cfg.Local,
 		registry: cfg.Registry,
 		seq:      cfg.Sequential,
@@ -104,6 +108,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 func (e *Engine) Registry() *spi.Registry { return e.registry }
 
 func schemaKey(name string) []byte { return []byte("schema/" + name) }
+
+// docRoute is the routing key placing one document's blob on a shard. It is
+// a pure function of (schema, id), so the id a document was inserted under
+// always resolves to the shard that stored it.
+func docRoute(schema, id string) string { return "doc/" + schema + "/" + id }
 
 // RegisterSchema validates the schema, runs adaptive tactic selection for
 // every sensitive field, instantiates and sets up the selected tactics,
@@ -550,7 +559,7 @@ func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document)
 	// No lock here: concurrent inserts of distinct documents are safe —
 	// tactic clients reserve index counters atomically, and the IfAbsent
 	// put below rejects a racing duplicate id before it reaches indexing.
-	err = e.cloud.Call(ctx, cloud.DocService, "put",
+	err = e.shards.Call(ctx, docRoute(schema, doc.ID), cloud.DocService, "put",
 		cloud.DocPutArgs{Collection: schema, ID: doc.ID, Blob: blob, IfAbsent: true}, nil)
 	if err != nil {
 		if transport.IsAlreadyExistsError(err) {
@@ -566,7 +575,7 @@ func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document)
 		// sees either way.
 		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 		defer cancel()
-		if derr := e.cloud.Call(dctx, cloud.DocService, "delete",
+		if derr := e.shards.Call(dctx, docRoute(schema, doc.ID), cloud.DocService, "delete",
 			cloud.DocDeleteArgs{Collection: schema, ID: doc.ID}, nil); derr != nil && !transport.IsNotFoundError(derr) {
 			return "", fmt.Errorf("%w (compensating delete also failed: %v)", err, derr)
 		}
@@ -582,7 +591,7 @@ func (e *Engine) Get(ctx context.Context, schema, id string) (*model.Document, e
 		return nil, err
 	}
 	var reply cloud.DocGetReply
-	if err := e.cloud.Call(ctx, cloud.DocService, "get",
+	if err := e.shards.Call(ctx, docRoute(schema, id), cloud.DocService, "get",
 		cloud.DocGetArgs{Collection: schema, ID: id}, &reply); err != nil {
 		if transport.IsNotFoundError(err) {
 			return nil, fmt.Errorf("%w: %s", ErrDocumentMissing, id)
@@ -622,7 +631,7 @@ func (e *Engine) Update(ctx context.Context, schema string, doc *model.Document)
 	if err != nil {
 		return err
 	}
-	if err := e.cloud.Call(ctx, cloud.DocService, "put",
+	if err := e.shards.Call(ctx, docRoute(schema, doc.ID), cloud.DocService, "put",
 		cloud.DocPutArgs{Collection: schema, ID: doc.ID, Blob: blob}, nil); err != nil {
 		return err
 	}
@@ -644,7 +653,7 @@ func (e *Engine) Delete(ctx context.Context, schema, id string) error {
 	if err := e.indexDelete(ctx, rt, old); err != nil {
 		return err
 	}
-	if err := e.cloud.Call(ctx, cloud.DocService, "delete",
+	if err := e.shards.Call(ctx, docRoute(schema, id), cloud.DocService, "delete",
 		cloud.DocDeleteArgs{Collection: schema, ID: id}, nil); err != nil {
 		if transport.IsNotFoundError(err) {
 			return fmt.Errorf("%w: %s", ErrDocumentMissing, id)
@@ -677,17 +686,30 @@ func (e *Engine) Compact(ctx context.Context, schema, field string, value any) e
 	return nil
 }
 
-// Count returns the number of stored documents.
+// Count returns the number of stored documents, summing per-shard counts
+// when the cloud tier is sharded (shards hold disjoint id ranges).
 func (e *Engine) Count(ctx context.Context, schema string) (int, error) {
 	if _, err := e.runtime(schema); err != nil {
 		return 0, err
 	}
-	var reply cloud.DocCountReply
-	if err := e.cloud.Call(ctx, cloud.DocService, "count",
-		cloud.DocCountArgs{Collection: schema}, &reply); err != nil {
+	counts := make([]int, e.shards.N())
+	err := e.shards.Each(ctx, func(gctx context.Context, i int, conn transport.Conn) error {
+		var reply cloud.DocCountReply
+		if err := conn.Call(gctx, cloud.DocService, "count",
+			cloud.DocCountArgs{Collection: schema}, &reply); err != nil {
+			return err
+		}
+		counts[i] = reply.Count
+		return nil
+	})
+	if err != nil {
 		return 0, err
 	}
-	return reply.Count, nil
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
 }
 
 // Fetch retrieves and decrypts the documents with the given ids, skipping
@@ -700,14 +722,13 @@ func (e *Engine) Fetch(ctx context.Context, schema string, ids []string) ([]*mod
 	if len(ids) == 0 {
 		return nil, nil
 	}
-	var reply cloud.DocGetManyReply
-	if err := e.cloud.Call(ctx, cloud.DocService, "getmany",
-		cloud.DocGetManyArgs{Collection: schema, IDs: ids}, &reply); err != nil {
+	records, err := e.getMany(ctx, schema, ids)
+	if err != nil {
 		return nil, err
 	}
-	docs := make([]*model.Document, len(reply.Records))
-	if e.seq || len(reply.Records) <= 1 {
-		for i, rec := range reply.Records {
+	docs := make([]*model.Document, len(records))
+	if e.seq || len(records) <= 1 {
+		for i, rec := range records {
 			doc, err := rt.openDoc(rec.ID, rec.Blob)
 			if err != nil {
 				return nil, err
@@ -718,8 +739,8 @@ func (e *Engine) Fetch(ctx context.Context, schema string, ids []string) ([]*mod
 	}
 	// AEAD open + JSON decode is CPU-bound; a NumCPU-wide pool keeps large
 	// result sets from serializing on one core without oversubscribing.
-	err = conc.ForEach(ctx, len(reply.Records), conc.NumWorkers(), func(_ context.Context, i int) error {
-		doc, err := rt.openDoc(reply.Records[i].ID, reply.Records[i].Blob)
+	err = conc.ForEach(ctx, len(records), conc.NumWorkers(), func(_ context.Context, i int) error {
+		doc, err := rt.openDoc(records[i].ID, records[i].Blob)
 		if err != nil {
 			return err
 		}
@@ -730,4 +751,57 @@ func (e *Engine) Fetch(ctx context.Context, schema string, ids []string) ([]*mod
 		return nil, err
 	}
 	return docs, nil
+}
+
+// getMany fetches blobs for ids, in request order, skipping missing ones.
+// On a sharded ring it splits the ids by owning shard, fans the per-shard
+// getmany calls out concurrently, and reassembles the gathered records in
+// the original id order.
+func (e *Engine) getMany(ctx context.Context, schema string, ids []string) ([]docstore.Record, error) {
+	if e.shards.N() == 1 {
+		var reply cloud.DocGetManyReply
+		if err := e.shards.Conn(0).Call(ctx, cloud.DocService, "getmany",
+			cloud.DocGetManyArgs{Collection: schema, IDs: ids}, &reply); err != nil {
+			return nil, err
+		}
+		return reply.Records, nil
+	}
+	routes := make([]string, len(ids))
+	for i, id := range ids {
+		routes[i] = docRoute(schema, id)
+	}
+	groups := e.shards.Split(routes)
+	found := make([]map[string][]byte, e.shards.N())
+	err := e.shards.Each(ctx, func(gctx context.Context, shard int, conn transport.Conn) error {
+		idx := groups[shard]
+		if len(idx) == 0 {
+			return nil
+		}
+		sub := make([]string, len(idx))
+		for j, i := range idx {
+			sub[j] = ids[i]
+		}
+		var reply cloud.DocGetManyReply
+		if err := conn.Call(gctx, cloud.DocService, "getmany",
+			cloud.DocGetManyArgs{Collection: schema, IDs: sub}, &reply); err != nil {
+			return err
+		}
+		m := make(map[string][]byte, len(reply.Records))
+		for _, rec := range reply.Records {
+			m[rec.ID] = rec.Blob
+		}
+		found[shard] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	records := make([]docstore.Record, 0, len(ids))
+	for i, id := range ids {
+		m := found[e.shards.Shard(routes[i])]
+		if blob, ok := m[id]; ok {
+			records = append(records, docstore.Record{ID: id, Blob: blob})
+		}
+	}
+	return records, nil
 }

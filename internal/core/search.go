@@ -10,9 +10,11 @@ import (
 	"sort"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/conc"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
+	"datablinder/internal/transport"
 )
 
 // SearchIDs evaluates a predicate tree and returns matching document ids,
@@ -329,24 +331,35 @@ func toSet(ids []string) idSet {
 	return out
 }
 
-// allIDs pages through the collection to enumerate every document id.
+// allIDs enumerates every document id. Each shard is paged through fully
+// (shards scan concurrently), then the per-shard id streams — each already
+// in ascending order — are k-way merged, so sharded and single-node
+// deployments return the identical sorted enumeration.
 func (e *Engine) allIDs(ctx context.Context, schema string) ([]string, error) {
-	var ids []string
-	after := ""
-	for {
-		var reply cloud.DocScanReply
-		if err := e.cloud.Call(ctx, cloud.DocService, "scan",
-			cloud.DocScanArgs{Collection: schema, After: after, Limit: 1024}, &reply); err != nil {
-			return nil, err
+	perShard := make([][]string, e.shards.N())
+	err := e.shards.Each(ctx, func(gctx context.Context, shard int, conn transport.Conn) error {
+		var ids []string
+		after := ""
+		for {
+			var reply cloud.DocScanReply
+			if err := conn.Call(gctx, cloud.DocService, "scan",
+				cloud.DocScanArgs{Collection: schema, After: after, Limit: 1024}, &reply); err != nil {
+				return err
+			}
+			if len(reply.Records) == 0 {
+				perShard[shard] = ids
+				return nil
+			}
+			for _, r := range reply.Records {
+				ids = append(ids, r.ID)
+			}
+			after = reply.Records[len(reply.Records)-1].ID
 		}
-		if len(reply.Records) == 0 {
-			return ids, nil
-		}
-		for _, r := range reply.Records {
-			ids = append(ids, r.ID)
-		}
-		after = reply.Records[len(reply.Records)-1].ID
+	})
+	if err != nil {
+		return nil, err
 	}
+	return ring.MergeSorted(perShard), nil
 }
 
 // Aggregate computes an aggregate of field over the documents matching

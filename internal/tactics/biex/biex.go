@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
@@ -100,10 +101,17 @@ func describe(name string, variant ssebiex.Variant) spi.Descriptor {
 // Tactic is the gateway half of either variant.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 	name    string
 	variant ssebiex.Variant
 	client  *ssebiex.Client
 	ns      string
+	// route places the whole namespace on one shard: BIEX's cross-keyword
+	// pair multimap relates every keyword to every other, so the index
+	// cannot split by keyword without breaking conjunction refinement.
+	// This is the deliberate scaling limit documented in EXPERIMENTS.md —
+	// boolean search throughput does not grow with the shard count.
+	route string
 }
 
 func newTactic(name string, variant ssebiex.Variant) spi.Factory {
@@ -116,14 +124,17 @@ func newTactic(name string, variant ssebiex.Variant) spi.Factory {
 		if err != nil {
 			return nil, err
 		}
+		ns := b.Schema + "|" + string(variant)
 		return &Tactic{
 			binding: b,
+			shards:  ring.Of(b.Cloud),
 			name:    name,
 			variant: variant,
 			client:  client,
 			// Distinct namespaces keep the two variants' indexes and
 			// version counters apart when both serve the same schema.
-			ns: b.Schema + "|" + string(variant),
+			ns:    ns,
+			route: "biex/" + ns,
 		}, nil
 	}
 }
@@ -158,7 +169,7 @@ func (t *Tactic) InsertDoc(ctx context.Context, docID string, fields map[string]
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "insert",
+	return t.shards.Call(ctx, t.route, Service, "insert",
 		InsertArgs{Namespace: t.ns, Entries: entries}, nil)
 }
 
@@ -183,7 +194,7 @@ func (t *Tactic) SearchBool(ctx context.Context, q spi.BoolQuery) ([]string, err
 		return nil, err
 	}
 	var reply SearchReply
-	if err := t.binding.Cloud.Call(ctx, Service, "search",
+	if err := t.shards.Call(ctx, t.route, Service, "search",
 		SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
 		return nil, err
 	}
@@ -208,7 +219,7 @@ func (t *Tactic) Compact(ctx context.Context, field string, value any) error {
 		return err
 	}
 	var reply SearchReply
-	if err := t.binding.Cloud.Call(ctx, Service, "search",
+	if err := t.shards.Call(ctx, t.route, Service, "search",
 		SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
 		return err
 	}
@@ -220,7 +231,7 @@ func (t *Tactic) Compact(ctx context.Context, field string, value any) error {
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "repack",
+	return t.shards.Call(ctx, t.route, Service, "repack",
 		RepackArgs{Namespace: t.ns, Stale: stale, Entries: entries}, nil)
 }
 

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 
+	"datablinder/internal/cloud/ring"
+	"datablinder/internal/conc"
 	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
@@ -86,6 +88,7 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 	ciphers *keycache.Cache[string, *primitives.DET]
 }
 
@@ -93,8 +96,16 @@ type Tactic struct {
 func New(b spi.Binding) (spi.Tactic, error) {
 	return &Tactic{
 		binding: b,
+		shards:  ring.Of(b.Cloud),
 		ciphers: keycache.New[string, *primitives.DET](keycache.DefaultSize),
 	}, nil
+}
+
+// route is the routing key placing one (field, ciphertext) posting set on a
+// shard: the deterministic ciphertext is stable across restarts, so insert,
+// delete and lookup for one value always land on the same shard.
+func (t *Tactic) route(field string, ct []byte) string {
+	return "det/" + t.binding.Schema + "/" + field + "/" + string(ct)
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -139,7 +150,7 @@ func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "add",
+	return t.shards.Call(ctx, t.route(field, ct), Service, "add",
 		AddArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
 }
 
@@ -149,39 +160,55 @@ func (t *Tactic) Delete(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "remove",
+	return t.shards.Call(ctx, t.route(field, ct), Service, "remove",
 		RemoveArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
 }
 
 // batchOps encrypts every field value and coalesces the per-field index
-// mutations into one transport batch (a single gateway↔cloud frame).
+// mutations into one transport batch per owning shard (a single
+// gateway↔cloud frame each; shard batches run concurrently).
 func (t *Tactic) batchOps(ctx context.Context, method, docID string, fields map[string]any) error {
 	names := make([]string, 0, len(fields))
 	for f := range fields {
 		names = append(names, f)
 	}
 	sort.Strings(names)
-	calls := make([]transport.BatchCall, 0, len(names))
-	for _, f := range names {
+	routes := make([]string, len(names))
+	calls := make([]transport.BatchCall, len(names))
+	for i, f := range names {
 		ct, err := t.encrypt(f, fields[f])
 		if err != nil {
 			return err
 		}
-		calls = append(calls, transport.BatchCall{
+		routes[i] = t.route(f, ct)
+		calls[i] = transport.BatchCall{
 			Service: Service, Method: method,
 			Args: AddArgs{Schema: t.binding.Schema, Field: f, CT: ct, DocID: docID},
-		})
-	}
-	results, err := transport.CallBatch(ctx, t.binding.Cloud, calls)
-	if err != nil {
-		return err
-	}
-	for i, r := range results {
-		if r.Err != nil {
-			return fmt.Errorf("det: %s field %s: %w", method, names[i], r.Err)
 		}
 	}
-	return nil
+	groups := t.shards.Split(routes)
+	shardList := make([]int, 0, len(groups))
+	for s := range groups {
+		shardList = append(shardList, s)
+	}
+	return conc.ForEach(ctx, len(shardList), 0, func(gctx context.Context, gi int) error {
+		shard := shardList[gi]
+		idx := groups[shard]
+		sub := make([]transport.BatchCall, len(idx))
+		for j, i := range idx {
+			sub[j] = calls[i]
+		}
+		results, err := transport.CallBatch(gctx, t.shards.Conn(shard), sub)
+		if err != nil {
+			return err
+		}
+		for j, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("det: %s field %s: %w", method, names[idx[j]], r.Err)
+			}
+		}
+		return nil
+	})
 }
 
 // InsertDoc implements spi.DocInserter: a document touching n DET-indexed
@@ -212,7 +239,7 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 		return nil, err
 	}
 	var reply LookupReply
-	if err := t.binding.Cloud.Call(ctx, Service, "lookup",
+	if err := t.shards.Call(ctx, t.route(field, ct), Service, "lookup",
 		LookupArgs{Schema: t.binding.Schema, Field: field, CT: ct}, &reply); err != nil {
 		return nil, err
 	}

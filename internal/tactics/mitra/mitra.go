@@ -8,6 +8,7 @@ import (
 	"context"
 	"encoding/json"
 
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
@@ -73,6 +74,7 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 	client  *ssemitra.Client
 }
 
@@ -85,8 +87,16 @@ func New(b spi.Binding) (spi.Tactic, error) {
 	}
 	return &Tactic{
 		binding: b,
+		shards:  ring.Of(b.Cloud),
 		client:  ssemitra.NewClient(key, ssemitra.NewKVState(b.Local)),
 	}, nil
+}
+
+// route places one keyword's update cells on a shard. The keyword is known
+// at both insert and search time (the gateway derives cell addresses from
+// it), so a keyword's whole posting structure co-locates on one node.
+func (t *Tactic) route(w string) string {
+	return "mitra/" + t.binding.Schema + "/" + w
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -105,11 +115,12 @@ func keyword(field string, value any) string {
 }
 
 func (t *Tactic) update(ctx context.Context, op ssemitra.Op, field, docID string, value any) error {
-	e, err := t.client.Update(t.binding.Schema, keyword(field, value), op, docID)
+	w := keyword(field, value)
+	e, err := t.client.Update(t.binding.Schema, w, op, docID)
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "insert",
+	return t.shards.Call(ctx, t.route(w), Service, "insert",
 		InsertArgs{Schema: t.binding.Schema, Entries: []ssemitra.Entry{e}}, nil)
 }
 
@@ -134,7 +145,7 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 		return nil, nil
 	}
 	var reply SearchReply
-	if err := t.binding.Cloud.Call(ctx, Service, "search",
+	if err := t.shards.Call(ctx, t.route(w), Service, "search",
 		SearchArgs{Schema: t.binding.Schema, Addrs: req.Addrs}, &reply); err != nil {
 		return nil, err
 	}

@@ -9,10 +9,12 @@
 package ope
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 
+	"datablinder/internal/cloud/ring"
 	cryptoope "datablinder/internal/crypto/ope"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -47,9 +49,13 @@ type (
 		LoInc  bool   `json:"lo_inc"`
 		HiInc  bool   `json:"hi_inc"`
 	}
-	// QueryReply carries matching ids in ciphertext order.
+	// QueryReply carries matching ids in ciphertext order. Scores is
+	// position-aligned with DocIDs and holds each id's order-preserving
+	// ciphertext: a sharded gateway k-way merges per-shard replies by
+	// (score, id) to reproduce the single-node result order.
 	QueryReply struct {
 		DocIDs []string `json:"doc_ids"`
+		Scores [][]byte `json:"scores,omitempty"`
 	}
 )
 
@@ -82,11 +88,19 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 }
 
 // New constructs the gateway half.
 func New(b spi.Binding) (spi.Tactic, error) {
-	return &Tactic{binding: b}, nil
+	return &Tactic{binding: b, shards: ring.Of(b.Cloud)}, nil
+}
+
+// route places one document's index entries on a shard. Range queries have
+// no useful single-shard key (any shard may hold in-range ciphertexts), so
+// writes spread by document id and queries scatter-gather.
+func (t *Tactic) route(docID string) string {
+	return "ope/" + t.binding.Schema + "/" + docID
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -144,7 +158,7 @@ func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "add",
+	return t.shards.Call(ctx, t.route(docID), Service, "add",
 		AddArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
 }
 
@@ -154,7 +168,7 @@ func (t *Tactic) Delete(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "remove",
+	return t.shards.Call(ctx, t.route(docID), Service, "remove",
 		RemoveArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
 }
 
@@ -175,11 +189,61 @@ func (t *Tactic) SearchRange(ctx context.Context, field string, lo, hi any, loIn
 		}
 		args.Hi = ct
 	}
-	var reply QueryReply
-	if err := t.binding.Cloud.Call(ctx, Service, "query", args, &reply); err != nil {
+	if t.shards.N() == 1 {
+		var reply QueryReply
+		if err := t.shards.Conn(0).Call(ctx, Service, "query", args, &reply); err != nil {
+			return nil, err
+		}
+		return reply.DocIDs, nil
+	}
+	// Scatter-gather: every shard scans its slice of the sorted index, and
+	// the per-shard replies — each ascending by (score, id) — k-way merge
+	// into the exact order a single node would have returned.
+	replies := make([]QueryReply, t.shards.N())
+	err := t.shards.Each(ctx, func(gctx context.Context, shard int, conn transport.Conn) error {
+		return conn.Call(gctx, Service, "query", args, &replies[shard])
+	})
+	if err != nil {
 		return nil, err
 	}
-	return reply.DocIDs, nil
+	return mergeByScore(replies), nil
+}
+
+// mergeByScore k-way merges per-shard query replies ascending by
+// (score, doc id), matching the kvstore sorted-set iteration order.
+func mergeByScore(replies []QueryReply) []string {
+	n := 0
+	for _, r := range replies {
+		n += len(r.DocIDs)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	pos := make([]int, len(replies))
+	for {
+		best := -1
+		for i, r := range replies {
+			p := pos[i]
+			if p >= len(r.DocIDs) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := replies[best]
+			if c := bytes.Compare(r.Scores[p], b.Scores[pos[best]]); c < 0 ||
+				(c == 0 && r.DocIDs[p] < b.DocIDs[pos[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, replies[best].DocIDs[pos[best]])
+		pos[best]++
+	}
 }
 
 // SearchEq implements spi.EqSearcher as a degenerate closed range.
@@ -215,9 +279,13 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		if err != nil {
 			return nil, err
 		}
-		reply := QueryReply{DocIDs: make([]string, len(pairs))}
+		reply := QueryReply{
+			DocIDs: make([]string, len(pairs)),
+			Scores: make([][]byte, len(pairs)),
+		}
 		for i, p := range pairs {
 			reply.DocIDs[i] = string(p.Member)
+			reply.Scores[i] = p.Score
 		}
 		return reply, nil
 	})

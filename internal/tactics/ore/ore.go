@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"datablinder/internal/cloud/ring"
 	cryptoore "datablinder/internal/crypto/ore"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -88,11 +89,18 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 }
 
 // New constructs the gateway half.
 func New(b spi.Binding) (spi.Tactic, error) {
-	return &Tactic{binding: b}, nil
+	return &Tactic{binding: b, shards: ring.Of(b.Cloud)}, nil
+}
+
+// route places one document's column cells on a shard. Deletion only knows
+// the document id, so the id — not the ciphertext — must be the key.
+func (t *Tactic) route(docID string) string {
+	return "ore/" + t.binding.Schema + "/" + docID
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -133,13 +141,13 @@ func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "add",
+	return t.shards.Call(ctx, t.route(docID), Service, "add",
 		AddArgs{Schema: t.binding.Schema, Field: field, CT: ct, DocID: docID}, nil)
 }
 
 // Delete implements spi.Deleter.
 func (t *Tactic) Delete(ctx context.Context, field, docID string, _ any) error {
-	return t.binding.Cloud.Call(ctx, Service, "remove",
+	return t.shards.Call(ctx, t.route(docID), Service, "remove",
 		RemoveArgs{Schema: t.binding.Schema, Field: field, DocID: docID}, nil)
 }
 
@@ -160,11 +168,29 @@ func (t *Tactic) SearchRange(ctx context.Context, field string, lo, hi any, loIn
 		}
 		args.Hi = ct
 	}
-	var reply QueryReply
-	if err := t.binding.Cloud.Call(ctx, Service, "query", args, &reply); err != nil {
+	if t.shards.N() == 1 {
+		var reply QueryReply
+		if err := t.shards.Conn(0).Call(ctx, Service, "query", args, &reply); err != nil {
+			return nil, err
+		}
+		return reply.DocIDs, nil
+	}
+	// Scatter-gather: each shard compare-scans its slice of the column in
+	// doc-id order, so merging the sorted per-shard streams reproduces the
+	// single-node result order.
+	perShard := make([][]string, t.shards.N())
+	err := t.shards.Each(ctx, func(gctx context.Context, shard int, conn transport.Conn) error {
+		var reply QueryReply
+		if err := conn.Call(gctx, Service, "query", args, &reply); err != nil {
+			return err
+		}
+		perShard[shard] = reply.DocIDs
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return reply.DocIDs, nil
+	return ring.MergeSorted(perShard), nil
 }
 
 // SearchEq implements spi.EqSearcher as a degenerate closed range.

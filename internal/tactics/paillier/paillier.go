@@ -19,6 +19,7 @@ import (
 	"math/big"
 	"sync"
 
+	"datablinder/internal/cloud/ring"
 	cryptopaillier "datablinder/internal/crypto/paillier"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
@@ -115,6 +116,7 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 
 	mu sync.Mutex
 	sk *cryptopaillier.PrivateKey
@@ -122,7 +124,15 @@ type Tactic struct {
 
 // New constructs the gateway half. Call Setup before use.
 func New(b spi.Binding) (spi.Tactic, error) {
-	return &Tactic{binding: b}, nil
+	return &Tactic{binding: b, shards: ring.Of(b.Cloud)}, nil
+}
+
+// route places one document's aggregate ciphertexts on a shard; sums split
+// the id set by the same key and combine per-shard partial sums
+// homomorphically at the gateway — losslessly, since Paillier addition is
+// associative.
+func (t *Tactic) route(docID string) string {
+	return "agg/" + t.binding.Schema + "/" + docID
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -178,8 +188,10 @@ func (t *Tactic) Setup(ctx context.Context) error {
 			return fmt.Errorf("paillier: persisting key: %w", err)
 		}
 	}
-	if err := t.binding.Cloud.Call(ctx, Service, "setup",
-		SetupArgs{Schema: t.binding.Schema, N: sk.PublicKey.Bytes()}, nil); err != nil {
+	// Every shard holds a slice of the ciphertext column and computes
+	// partial sums, so each needs the public key.
+	if err := t.shards.Broadcast(ctx, Service, "setup",
+		SetupArgs{Schema: t.binding.Schema, N: sk.PublicKey.Bytes()}); err != nil {
 		return fmt.Errorf("paillier: registering public key: %w", err)
 	}
 	sk.EnableRandPool(randPoolSize)
@@ -219,13 +231,13 @@ func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "put",
+	return t.shards.Call(ctx, t.route(docID), Service, "put",
 		PutArgs{Schema: t.binding.Schema, Field: field, DocID: docID, CT: ct.Bytes()}, nil)
 }
 
 // Delete implements spi.Deleter.
 func (t *Tactic) Delete(ctx context.Context, field, docID string, _ any) error {
-	return t.binding.Cloud.Call(ctx, Service, "remove",
+	return t.shards.Call(ctx, t.route(docID), Service, "remove",
 		RemoveArgs{Schema: t.binding.Schema, Field: field, DocID: docID}, nil)
 }
 
@@ -238,12 +250,7 @@ func (t *Tactic) Aggregate(ctx context.Context, field string, agg model.Agg, doc
 	if len(docIDs) == 0 {
 		return 0, nil
 	}
-	var reply SumReply
-	if err := t.binding.Cloud.Call(ctx, Service, "sum",
-		SumArgs{Schema: t.binding.Schema, Field: field, DocIDs: docIDs}, &reply); err != nil {
-		return 0, err
-	}
-	ct, err := cryptopaillier.CiphertextFromBytes(&sk.PublicKey, reply.CT)
+	ct, count, err := t.partialSums(ctx, field, docIDs, sk)
 	if err != nil {
 		return 0, err
 	}
@@ -256,13 +263,88 @@ func (t *Tactic) Aggregate(ctx context.Context, field string, agg model.Agg, doc
 	case model.AggSum:
 		return sum, nil
 	case model.AggAvg:
-		if reply.Count == 0 {
+		if count == 0 {
 			return 0, nil
 		}
-		return sum / float64(reply.Count), nil
+		return sum / float64(count), nil
 	default:
 		return 0, fmt.Errorf("paillier: unsupported aggregate %q", string(agg))
 	}
+}
+
+// partialSums computes the encrypted sum over docIDs. On a sharded ring the
+// id set splits by owning shard, each shard sums its slice homomorphically,
+// and the partial sums combine gateway-side with one Paillier addition per
+// shard — the result is bit-for-bit a valid encryption of the total, so
+// sharding loses nothing.
+func (t *Tactic) partialSums(ctx context.Context, field string, docIDs []string, sk *cryptopaillier.PrivateKey) (*cryptopaillier.Ciphertext, int, error) {
+	if t.shards.N() == 1 {
+		var reply SumReply
+		if err := t.shards.Conn(0).Call(ctx, Service, "sum",
+			SumArgs{Schema: t.binding.Schema, Field: field, DocIDs: docIDs}, &reply); err != nil {
+			return nil, 0, err
+		}
+		ct, err := cryptopaillier.CiphertextFromBytes(&sk.PublicKey, reply.CT)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ct, reply.Count, nil
+	}
+	routes := make([]string, len(docIDs))
+	for i, id := range docIDs {
+		routes[i] = t.route(id)
+	}
+	groups := t.shards.Split(routes)
+	replies := make([]*SumReply, t.shards.N())
+	err := t.shards.Each(ctx, func(gctx context.Context, shard int, conn transport.Conn) error {
+		idx := groups[shard]
+		if len(idx) == 0 {
+			return nil
+		}
+		sub := make([]string, len(idx))
+		for j, i := range idx {
+			sub[j] = docIDs[i]
+		}
+		var reply SumReply
+		if err := conn.Call(gctx, Service, "sum",
+			SumArgs{Schema: t.binding.Schema, Field: field, DocIDs: sub}, &reply); err != nil {
+			return err
+		}
+		replies[shard] = &reply
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var acc *cryptopaillier.Ciphertext
+	count := 0
+	for _, reply := range replies {
+		if reply == nil {
+			continue
+		}
+		ct, err := cryptopaillier.CiphertextFromBytes(&sk.PublicKey, reply.CT)
+		if err != nil {
+			return nil, 0, err
+		}
+		if acc == nil {
+			acc = ct
+		} else {
+			acc, err = cryptopaillier.Add(acc, ct)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		count += reply.Count
+	}
+	if acc == nil {
+		// Every shard group was empty — cannot happen with len(docIDs) > 0,
+		// but fail safe with an encryption of zero.
+		acc, err = sk.PublicKey.EncryptZero()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return acc, count, nil
 }
 
 // RegisterCloud installs the cloud half on mux, backed by store.

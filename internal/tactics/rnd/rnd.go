@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
@@ -92,6 +93,7 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 	aeads   *keycache.Cache[string, *primitives.AEAD]
 }
 
@@ -99,8 +101,15 @@ type Tactic struct {
 func New(b spi.Binding) (spi.Tactic, error) {
 	return &Tactic{
 		binding: b,
+		shards:  ring.Of(b.Cloud),
 		aeads:   keycache.New[string, *primitives.AEAD](keycache.DefaultSize),
 	}, nil
+}
+
+// route places one document's ciphertext cells on a shard; the exhaustive
+// scan then gathers every shard's slice of the column.
+func (t *Tactic) route(docID string) string {
+	return "rnd/" + t.binding.Schema + "/" + docID
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -136,14 +145,14 @@ func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) err
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "put",
+	return t.shards.Call(ctx, t.route(docID), Service, "put",
 		PutArgs{Schema: t.binding.Schema, Field: field, DocID: docID, CT: ct}, nil)
 }
 
 // Delete implements spi.Deleter. The old value is not needed: the cloud
 // column is keyed by document id.
 func (t *Tactic) Delete(ctx context.Context, field, docID string, _ any) error {
-	return t.binding.Cloud.Call(ctx, Service, "remove",
+	return t.shards.Call(ctx, t.route(docID), Service, "remove",
 		RemoveArgs{Schema: t.binding.Schema, Field: field, DocID: docID}, nil)
 }
 
@@ -154,14 +163,26 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 	if err != nil {
 		return nil, err
 	}
-	var reply ScanReply
-	if err := t.binding.Cloud.Call(ctx, Service, "scan",
-		ScanArgs{Schema: t.binding.Schema, Field: field}, &reply); err != nil {
+	// Exhaustive scan scatter-gathers: each shard streams its slice of the
+	// column (already in doc-id order), the slices merge by doc id, and
+	// decryption/filtering stays gateway-side as before.
+	perShard := make([][]ScanItem, t.shards.N())
+	err = t.shards.Each(ctx, func(gctx context.Context, shard int, conn transport.Conn) error {
+		var reply ScanReply
+		if err := conn.Call(gctx, Service, "scan",
+			ScanArgs{Schema: t.binding.Schema, Field: field}, &reply); err != nil {
+			return err
+		}
+		perShard[shard] = reply.Items
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
+	items := mergeScans(perShard)
 	want := model.ValueToString(value)
 	var ids []string
-	for _, item := range reply.Items {
+	for _, item := range items {
 		pt, err := aead.Open(item.CT, []byte(item.DocID))
 		if err != nil {
 			return nil, fmt.Errorf("rnd: ciphertext for %s failed authentication: %w", item.DocID, err)
@@ -171,6 +192,36 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 		}
 	}
 	return ids, nil
+}
+
+// mergeScans k-way merges per-shard column slices ascending by doc id,
+// matching the single-node scan order.
+func mergeScans(perShard [][]ScanItem) []ScanItem {
+	if len(perShard) == 1 {
+		return perShard[0]
+	}
+	n := 0
+	for _, s := range perShard {
+		n += len(s)
+	}
+	out := make([]ScanItem, 0, n)
+	pos := make([]int, len(perShard))
+	for {
+		best := -1
+		for i, s := range perShard {
+			if pos[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[pos[i]].DocID < perShard[best][pos[best]].DocID {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, perShard[best][pos[best]])
+		pos[best]++
+	}
 }
 
 // RegisterCloud installs the cloud half on mux, backed by store.

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"datablinder/internal/cloud/ring"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
@@ -87,6 +88,7 @@ func Describe() spi.Descriptor {
 // Tactic is the gateway half.
 type Tactic struct {
 	binding spi.Binding
+	shards  *ring.Ring
 
 	mu     sync.Mutex
 	client *ssesophos.Client // built by Setup
@@ -94,7 +96,13 @@ type Tactic struct {
 
 // New constructs the gateway half. Call Setup before use.
 func New(b spi.Binding) (spi.Tactic, error) {
-	return &Tactic{binding: b}, nil
+	return &Tactic{binding: b, shards: ring.Of(b.Cloud)}, nil
+}
+
+// route places one keyword's state chain on a shard: insert and search both
+// derive from the keyword, so the whole chain co-locates.
+func (t *Tactic) route(w string) string {
+	return "sophos/" + t.binding.Schema + "/" + w
 }
 
 // Registration couples descriptor and factory for the registry.
@@ -147,8 +155,10 @@ func (t *Tactic) Setup(ctx context.Context) error {
 			return fmt.Errorf("sophos: persisting TDP: %w", err)
 		}
 	}
-	if err := t.binding.Cloud.Call(ctx, Service, "setup",
-		SetupArgs{Schema: t.binding.Schema, PK: client.PublicKey()}, nil); err != nil {
+	// Every shard must hold the public key: keyword chains are spread
+	// across the ring, and each node verifies/extends its own chains.
+	if err := t.shards.Broadcast(ctx, Service, "setup",
+		SetupArgs{Schema: t.binding.Schema, PK: client.PublicKey()}); err != nil {
 		return fmt.Errorf("sophos: registering public key: %w", err)
 	}
 	t.client = client
@@ -202,11 +212,12 @@ func (t *Tactic) Insert(ctx context.Context, field, docID string, value any) err
 		return err
 	}
 	vid := docID + "#" + strconv.FormatUint(v, 10)
-	e, err := client.Insert(t.binding.Schema, keyword(field, value), vid)
+	w := keyword(field, value)
+	e, err := client.Insert(t.binding.Schema, w, vid)
 	if err != nil {
 		return err
 	}
-	return t.binding.Cloud.Call(ctx, Service, "insert",
+	return t.shards.Call(ctx, t.route(w), Service, "insert",
 		InsertArgs{Schema: t.binding.Schema, Entries: []ssesophos.Entry{e}}, nil)
 }
 
@@ -229,12 +240,13 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 	if err != nil {
 		return nil, err
 	}
-	tok, ok, err := client.Token(t.binding.Schema, keyword(field, value))
+	w := keyword(field, value)
+	tok, ok, err := client.Token(t.binding.Schema, w)
 	if err != nil || !ok {
 		return nil, err
 	}
 	var reply SearchReply
-	if err := t.binding.Cloud.Call(ctx, Service, "search",
+	if err := t.shards.Call(ctx, t.route(w), Service, "search",
 		SearchArgs{Schema: t.binding.Schema, Token: tok}, &reply); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestCallReplaysOnceAfterMidFlightDeath kills the server side of the
+// socket after the request frame is already written but before any reply,
+// with a healthy server behind the same address for the redial. The call
+// must succeed transparently: the client redials the slot and replays
+// exactly the failed call.
+func TestCallReplaysOnceAfterMidFlightDeath(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	served := make(chan int, 2)
+	go func() {
+		// First connection: swallow one request and drop the socket —
+		// a crash with the call in flight.
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var req request
+		if err := readFrame(conn, &req); err == nil {
+			served <- 1
+		}
+		conn.Close()
+
+		// Second connection (the redial): answer properly.
+		conn, err = ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		served <- 2
+		writeFrame(conn, &response{ID: req.ID, OK: true, Payload: []byte(`{"ok":true}`)})
+		// Hold the socket open so the client can read the reply.
+		time.Sleep(200 * time.Millisecond)
+	}()
+
+	c, err := Dial(ln.Addr().String(), DialOptions{PoolSize: 1, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var reply struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.Call(context.Background(), "svc", "echo", map[string]int{"x": 1}, &reply); err != nil {
+		t.Fatalf("call across mid-flight socket death: %v", err)
+	}
+	if !reply.OK {
+		t.Fatal("reply not decoded after replay")
+	}
+	if got := len(served); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (original + one replay)", got)
+	}
+}
+
+// TestCallSurfacesOriginalErrorWhenRedialFails tears the server down
+// entirely after the request is in flight: the replay's redial cannot
+// connect, and the caller must see the original socket failure, not a
+// dial error.
+func TestCallSurfacesOriginalErrorWhenRedialFails(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	c, err := Dial(ln.Addr().String(), DialOptions{PoolSize: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	conn := <-accepted
+	ln.Close() // no redial target
+
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Call(context.Background(), "svc", "m", nil, nil)
+	}()
+	// Let the request frame land, then kill the socket mid-flight.
+	time.Sleep(100 * time.Millisecond)
+	conn.Close()
+
+	err = <-done
+	if err == nil {
+		t.Fatal("call must fail when both the socket and the redial die")
+	}
+}

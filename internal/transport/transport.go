@@ -569,6 +569,15 @@ func (c *TCPClient) acquire() (*msock, error) {
 // Call implements Conn. The call is pipelined: it occupies the socket only
 // for the duration of the frame write, then waits for its correlated
 // response while other calls proceed on the same socket.
+//
+// A call that fails because its socket died mid-flight (write error, or
+// the reader exiting before the response arrived) is transparently
+// replayed exactly once: acquire redials the dead slot, and only this call
+// is resent — neighbouring calls that failed on the same socket each make
+// their own retry decision. If the replay fails too, the original error is
+// surfaced. Timeouts and context cancellations are never replayed (the
+// request may still be executing server-side), and remote errors are
+// definitive answers, not transport failures.
 func (c *TCPClient) Call(ctx context.Context, service, method string, args, reply any) error {
 	var payload json.RawMessage
 	if args != nil {
@@ -581,16 +590,44 @@ func (c *TCPClient) Call(ctx context.Context, service, method string, args, repl
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	m, err := c.acquire()
+	resp, err, sockDead := c.roundTrip(ctx, service, method, payload)
+	if sockDead && ctx.Err() == nil {
+		if resp2, err2, dead2 := c.roundTrip(ctx, service, method, payload); err2 == nil && !dead2 {
+			resp, err = resp2, nil
+		}
+		// Replay failed: report the original failure, not the retry's.
+	}
 	if err != nil {
 		return err
+	}
+	if !resp.OK {
+		return &RemoteError{Code: resp.Code, Msg: resp.Error}
+	}
+	if reply != nil && len(resp.Payload) > 0 {
+		if err := json.Unmarshal(resp.Payload, reply); err != nil {
+			return fmt.Errorf("transport: decoding reply: %w", err)
+		}
+	}
+	return nil
+}
+
+// roundTrip sends one request and waits for its response. sockDead reports
+// that the failure was the socket dying under this call — the class of
+// error a single redial-and-replay can heal — as opposed to a timeout,
+// cancellation, client close, or a response that actually arrived.
+func (c *TCPClient) roundTrip(ctx context.Context, service, method string, payload json.RawMessage) (resp *response, err error, sockDead bool) {
+	m, err := c.acquire()
+	if err != nil {
+		return nil, err, false
 	}
 
 	id := atomic.AddUint64(&c.nextID, 1)
 	req := &request{ID: id, Service: service, Method: method, Payload: payload}
 	p := &pending{ch: make(chan *response, 1)}
 	if err := m.register(id, p); err != nil {
-		return err
+		// The socket died between acquire and register; same class as a
+		// write failure (unless the client itself was closed).
+		return nil, err, !errors.Is(err, ErrClosed)
 	}
 
 	// Frame writes are short; bound them so a wedged peer cannot hold the
@@ -607,38 +644,29 @@ func (c *TCPClient) Call(ctx context.Context, service, method string, args, repl
 		// A half-written frame poisons the stream for every call on the
 		// socket; kill it so they fail fast and the slot redials.
 		m.fail(fmt.Errorf("transport: write: %w", werr))
-		return fmt.Errorf("transport: write: %w", werr)
+		return nil, fmt.Errorf("transport: write: %w", werr), true
 	}
 
 	timer := time.NewTimer(c.timeout)
 	defer timer.Stop()
-	var resp *response
 	select {
 	case resp = <-p.ch:
 	case <-ctx.Done():
 		m.deregister(id)
-		return ctx.Err()
+		return nil, ctx.Err(), false
 	case <-timer.C:
 		m.deregister(id)
-		return fmt.Errorf("transport: call %s.%s: timeout after %v", service, method, c.timeout)
+		return nil, fmt.Errorf("transport: call %s.%s: timeout after %v", service, method, c.timeout), false
 	case <-m.dead:
 		// The reader exited; either our response will never come, or it
 		// raced in just before the failure.
 		select {
 		case resp = <-p.ch:
 		default:
-			return m.err
+			return nil, m.err, !errors.Is(m.err, ErrClosed)
 		}
 	}
-	if !resp.OK {
-		return &RemoteError{Code: resp.Code, Msg: resp.Error}
-	}
-	if reply != nil && len(resp.Payload) > 0 {
-		if err := json.Unmarshal(resp.Payload, reply); err != nil {
-			return fmt.Errorf("transport: decoding reply: %w", err)
-		}
-	}
-	return nil
+	return resp, nil, false
 }
 
 // Close implements Conn.

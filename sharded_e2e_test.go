@@ -1,0 +1,270 @@
+package datablinder_test
+
+// Sharded-tier end-to-end test: three real cloud nodes served over TCP,
+// fronted by the gateway's consistent-hash ring, running the full mixed
+// workload — insert, equality (DET / Mitra / Sophos / RND), boolean
+// (BIEX And/Or), range (OPE and ORE), Paillier sum/avg, count, get,
+// fetch, update, delete — and asserting that every query class returns
+// results identical to an unsharded single-node deployment holding the
+// same documents. Any gateway call site missed during the single-node →
+// ring conversion fails loudly here: a keyless RPC on a multi-shard
+// connection is an error by construction.
+//
+// The test is deliberately run in CI under -race: the sharded paths
+// scatter concurrently across shards, so it also exercises the merge
+// machinery for data races.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"datablinder"
+	"datablinder/internal/cloud"
+	"datablinder/internal/transport"
+)
+
+// shardedSchema covers every query class and every tactic family the
+// sharded tier routes differently: DET point lookups, BIEX boolean,
+// Mitra and Sophos SSE, OPE and ORE ranges, RND scatter-scan equality,
+// Paillier aggregates.
+func shardedSchema() *datablinder.Schema {
+	return &datablinder.Schema{
+		Name: "observation",
+		Fields: []datablinder.Field{
+			datablinder.PlainField("identifier", datablinder.TypeString),
+			datablinder.MustField("status", datablinder.TypeString, "C5, op [I, EQ, BL], tactic [DET, BIEX-2Lev]"),
+			datablinder.MustField("code", datablinder.TypeString, "C5, op [I, EQ, BL], tactic [DET, BIEX-2Lev]"),
+			datablinder.MustField("subject", datablinder.TypeString, "C2, op [I, EQ], tactic [Mitra]"),
+			datablinder.MustField("performer", datablinder.TypeString, "C2, op [I, EQ], tactic [Sophos]"),
+			datablinder.MustField("note", datablinder.TypeString, "C1, op [I, EQ], tactic [RND]"),
+			datablinder.MustField("effective", datablinder.TypeInt, "C5, op [I, RG], tactic [OPE]"),
+			datablinder.MustField("amount", datablinder.TypeInt, "C5, op [I, RG], tactic [ORE]"),
+			datablinder.MustField("value", datablinder.TypeFloat, "C5, op [I, EQ], agg [sum, avg], tactic [DET, Paillier]"),
+		},
+	}
+}
+
+// startShard brings up one real cloud node on a TCP listener and returns
+// its address.
+func startShard(t *testing.T) string {
+	t.Helper()
+	node, err := cloud.NewNode(cloud.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	srv := transport.NewServer(node.Mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// shardedDoc builds the i-th deterministic document. Fixed IDs keep the
+// two deployments comparable document-for-document.
+func shardedDoc(i int) *datablinder.Document {
+	statuses := []string{"final", "preliminary", "amended", "draft", "registered"}
+	codes := []string{"glucose", "cholesterol", "heart-rate", "bmi", "hemoglobin"}
+	return &datablinder.Document{
+		ID: fmt.Sprintf("doc-%03d", i),
+		Fields: map[string]any{
+			"identifier": fmt.Sprintf("obs-%03d", i),
+			"status":     statuses[i%len(statuses)],
+			"code":       codes[i%len(codes)],
+			"subject":    fmt.Sprintf("patient-%02d", i%12),
+			"performer":  fmt.Sprintf("dr-%02d", i%7),
+			"note":       fmt.Sprintf("note text %d", i%9),
+			"effective":  int64(1600000000 + i*1000),
+			"amount":     int64((i * 37) % 500),
+			"value":      float64(10 + i%50),
+		},
+	}
+}
+
+func sortedIDs(t *testing.T, col *datablinder.Collection, q datablinder.Predicate) []string {
+	t.Helper()
+	ids, err := col.SearchIDs(context.Background(), q)
+	if err != nil {
+		t.Fatalf("search %+v: %v", q, err)
+	}
+	out := append([]string(nil), ids...)
+	sort.Strings(out)
+	return out
+}
+
+func TestShardedTierMatchesSingleNode(t *testing.T) {
+	ctx := context.Background()
+
+	addrs := []string{startShard(t), startShard(t), startShard(t)}
+	sharded, err := datablinder.Open(ctx, datablinder.Options{CloudAddrs: addrs})
+	if err != nil {
+		t.Fatalf("opening sharded client: %v", err)
+	}
+	defer sharded.Close()
+
+	single, err := datablinder.Open(ctx, datablinder.Options{InProcessCloud: true})
+	if err != nil {
+		t.Fatalf("opening single-node client: %v", err)
+	}
+	defer single.Close()
+
+	schema := shardedSchema()
+	for _, c := range []*datablinder.Client{sharded, single} {
+		if err := c.RegisterSchema(ctx, schema); err != nil {
+			t.Fatalf("registering schema: %v", err)
+		}
+	}
+	shardedCol := sharded.Entities(schema.Name)
+	singleCol := single.Entities(schema.Name)
+
+	const docs = 60
+	for i := 0; i < docs; i++ {
+		for _, col := range []*datablinder.Collection{shardedCol, singleCol} {
+			if _, err := col.Insert(ctx, shardedDoc(i)); err != nil {
+				t.Fatalf("inserting doc %d: %v", i, err)
+			}
+		}
+	}
+
+	// Both deployments must agree on every query class. Result sets are
+	// compared sorted: the sharded tier's merge order for multi-shard
+	// gathers is not required to match single-node posting order.
+	sameIDs := func(name string, q datablinder.Predicate) {
+		t.Helper()
+		got, want := sortedIDs(t, shardedCol, q), sortedIDs(t, singleCol, q)
+		if len(want) == 0 {
+			t.Fatalf("%s: single-node returned no results — query exercises nothing", name)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: sharded %v != single-node %v", name, got, want)
+		}
+	}
+
+	sameIDs("equality DET status", datablinder.Eq{Field: "status", Value: "final"})
+	sameIDs("equality DET value", datablinder.Eq{Field: "value", Value: float64(12)})
+	sameIDs("equality Mitra subject", datablinder.Eq{Field: "subject", Value: "patient-03"})
+	sameIDs("equality Sophos performer", datablinder.Eq{Field: "performer", Value: "dr-02"})
+	sameIDs("equality RND note", datablinder.Eq{Field: "note", Value: "note text 4"})
+	sameIDs("boolean BIEX and", datablinder.And{Preds: []datablinder.Predicate{
+		datablinder.Eq{Field: "status", Value: "final"},
+		datablinder.Eq{Field: "code", Value: "glucose"},
+	}})
+	sameIDs("boolean or", datablinder.Or{Preds: []datablinder.Predicate{
+		datablinder.Eq{Field: "status", Value: "draft"},
+		datablinder.Eq{Field: "code", Value: "bmi"},
+	}})
+	sameIDs("range OPE effective", datablinder.Between("effective", int64(1600010000), int64(1600040000)))
+	sameIDs("range ORE amount", datablinder.Between("amount", int64(100), int64(300)))
+	sameIDs("mixed and (range + eq)", datablinder.And{Preds: []datablinder.Predicate{
+		datablinder.Between("effective", int64(1600000000), int64(1600030000)),
+		datablinder.Eq{Field: "status", Value: "preliminary"},
+	}})
+
+	// Paillier aggregates: per-shard partial sums are combined
+	// homomorphically at the gateway, so the result must be exact.
+	for _, agg := range []datablinder.Agg{"sum", "avg"} {
+		got, err := shardedCol.Aggregate(ctx, "value", agg, nil)
+		if err != nil {
+			t.Fatalf("sharded %s: %v", agg, err)
+		}
+		want, err := singleCol.Aggregate(ctx, "value", agg, nil)
+		if err != nil {
+			t.Fatalf("single-node %s: %v", agg, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s(value): sharded %g != single-node %g", agg, got, want)
+		}
+	}
+	gotFiltered, err := shardedCol.Aggregate(ctx, "value", "sum", datablinder.Eq{Field: "status", Value: "final"})
+	if err != nil {
+		t.Fatalf("sharded filtered sum: %v", err)
+	}
+	wantFiltered, err := singleCol.Aggregate(ctx, "value", "sum", datablinder.Eq{Field: "status", Value: "final"})
+	if err != nil {
+		t.Fatalf("single-node filtered sum: %v", err)
+	}
+	if math.Abs(gotFiltered-wantFiltered) > 1e-9 {
+		t.Errorf("filtered sum(value): sharded %g != single-node %g", gotFiltered, wantFiltered)
+	}
+
+	// Count scatter-sums document counts across shards.
+	gotCount, err := shardedCol.Count(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCount != docs {
+		t.Errorf("sharded count = %d, want %d", gotCount, docs)
+	}
+
+	// Get decrypts a single routed document; full Search exercises the
+	// cross-shard getmany reassembly, which must preserve the id order the
+	// search produced.
+	doc, err := shardedCol.Get(ctx, "doc-017")
+	if err != nil {
+		t.Fatalf("sharded get: %v", err)
+	}
+	if doc.Fields["identifier"] != "obs-017" {
+		t.Errorf("get doc-017: identifier = %v", doc.Fields["identifier"])
+	}
+	results, err := shardedCol.Search(ctx, datablinder.Eq{Field: "status", Value: "final"})
+	if err != nil {
+		t.Fatalf("sharded search with fetch: %v", err)
+	}
+	fetchedIDs := make([]string, len(results))
+	for i, d := range results {
+		fetchedIDs[i] = d.ID
+	}
+	searchIDs, err := shardedCol.SearchIDs(ctx, datablinder.Eq{Field: "status", Value: "final"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(fetchedIDs) != fmt.Sprint(searchIDs) {
+		t.Errorf("fetch reordered results: docs %v, ids %v", fetchedIDs, searchIDs)
+	}
+
+	// Update and delete route through the ring too; both deployments must
+	// stay in lockstep afterwards.
+	for _, col := range []*datablinder.Collection{shardedCol, singleCol} {
+		upd := shardedDoc(5)
+		upd.Fields["status"] = "amended"
+		if err := col.Update(ctx, upd); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		if err := col.Delete(ctx, "doc-010"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	sameIDs("equality after update", datablinder.Eq{Field: "status", Value: "amended"})
+	sameIDs("equality after delete", datablinder.Eq{Field: "status", Value: "final"})
+	if _, err := shardedCol.Get(ctx, "doc-010"); err == nil {
+		t.Error("get deleted doc-010: want error, got nil")
+	}
+
+	// The documents must actually be spread over the three shards — a
+	// routing bug that funnels everything to one node would still pass the
+	// equality checks above.
+	spread := 0
+	for i, addr := range addrs {
+		conn, err := transport.Dial(addr, transport.DialOptions{})
+		if err != nil {
+			t.Fatalf("dialing shard %d: %v", i, err)
+		}
+		var st cloud.StatsReply
+		if err := conn.Call(ctx, cloud.AdminService, "stats", nil, &st); err != nil {
+			conn.Close()
+			t.Fatalf("stats on shard %d: %v", i, err)
+		}
+		conn.Close()
+		if st.Collections[schema.Name] > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("documents landed on %d of %d shards — ring routing is not spreading", spread, len(addrs))
+	}
+}
