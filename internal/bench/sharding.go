@@ -11,8 +11,9 @@
 // regime a real tier of independent machines runs in. Doubling the shard
 // count doubles the tier's RPC capacity; the measured curves show how
 // much of that the gateway actually converts into throughput, and where
-// it bends (BIEX boolean queries pin a whole namespace to one shard, and
-// range queries broadcast, so neither scales like routed point ops).
+// it bends (range queries broadcast to every shard, so they scale with
+// the slowest node rather than the tier; point ops and keyword-routed
+// boolean conjunctions scale with the shard count).
 //
 // The workload is the standard mix: document inserts (every index
 // written), DET/Mitra equality, BIEX boolean, and OPE range queries,
@@ -45,6 +46,7 @@ import (
 	"datablinder/internal/model"
 	"datablinder/internal/store/kvstore"
 	"datablinder/internal/tactics"
+	biextactic "datablinder/internal/tactics/biex"
 	"datablinder/internal/transport"
 )
 
@@ -76,7 +78,7 @@ func DefaultShardingConfig() ShardingConfig {
 	return ShardingConfig{
 		ShardCounts: []int{1, 2, 4, 8},
 		Inserts:     800,
-		EqQueries:   1600, BoolQueries: 80, RangeQueries: 80,
+		EqQueries:   1600, BoolQueries: 160, RangeQueries: 80,
 		Users: 256, NodeWidth: 8, ServiceTime: 8 * time.Millisecond,
 		Seed: 1,
 	}
@@ -94,6 +96,10 @@ type ShardingRun struct {
 	// gathered through each node's admin stats RPC.
 	DocsPerShard      []int `json:"docs_per_shard"`
 	IndexKeysPerShard []int `json:"index_keys_per_shard"`
+	// BiexKeysPerShard isolates the boolean index's spread (the emm + zmf
+	// kvstore namespaces — only BIEX writes them). Before keyword
+	// partitioning this column showed the ~12x pileup on the home shard.
+	BiexKeysPerShard []int `json:"biex_keys_per_shard"`
 	// RPCsPerShard counts the RPCs each node served across both phases —
 	// the load-balance view (a shard can hold its fair share of keys but
 	// still serve a disproportionate share of traffic, e.g. the BIEX home
@@ -104,9 +110,10 @@ type ShardingRun struct {
 // ShardingResult carries the full scaling curve.
 type ShardingResult struct {
 	Runs []ShardingRun `json:"runs"`
-	// Speedup4v1 is aggregate throughput at 4 shards over 1 shard (0 when
-	// either size was not measured).
+	// Speedup4v1 / Speedup8v1 are aggregate throughput at 4 and 8 shards
+	// over 1 shard (0 when either size was not measured).
 	Speedup4v1 float64        `json:"speedup_4v1"`
+	Speedup8v1 float64        `json:"speedup_8v1,omitempty"`
 	Config     ShardingConfig `json:"config"`
 	// Meta is stamped by WriteShardingJSON.
 	Meta Meta `json:"meta"`
@@ -150,6 +157,20 @@ func (c *nodeConn) Call(ctx context.Context, service, method string, args, reply
 				cost = time.Duration(v.Len()) * c.service
 			}
 		}
+		// BIEX insert batches get the same per-operation accounting: one
+		// RPC carries a whole per-shard group of index cells, and a real
+		// node's multimap work scales with the cell count, not the frame
+		// count. Charging per frame would bill a single node one quantum
+		// for a 15-cell document but a sharded tier one per shard — again
+		// penalizing exactly the deployments that split batches.
+		if service == biextactic.Service && method == "insert" {
+			if a, ok := args.(biextactic.InsertArgs); ok {
+				n := len(a.Entries.Global) + len(a.Entries.Cross) + len(a.Entries.Filter)
+				if n > 1 {
+					cost = time.Duration(n) * c.service
+				}
+			}
+		}
 		t := time.NewTimer(cost)
 		select {
 		case <-t.C:
@@ -162,9 +183,15 @@ func (c *nodeConn) Call(ctx context.Context, service, method string, args, reply
 }
 
 // shardingSchema covers every query class the scaling run measures:
-// DET + BIEX equality/boolean on status and code, Mitra equality on
-// subject, OPE range on effective, plain DET equality on issued. Field
-// names match the fhir generator so the synthetic population is reusable.
+// DET + BIEX equality/boolean on status, code, and issued, Mitra + BIEX
+// on subject and performer, OPE range on effective. Field names match the
+// fhir generator so the synthetic population is reusable. The boolean
+// span deliberately includes the high-cardinality fields (issued near
+// unique, subject ~200 patients, performer ~25 practitioners): clinical
+// boolean queries combine patient or practitioner with status/code, and
+// those labels are what give the keyword-partitioned BIEX index a
+// population that actually exercises the ring's spread — status and code
+// alone are 13 enum keywords, too few to balance eight shards.
 func shardingSchema() *model.Schema {
 	must := func(s string) model.Annotation {
 		a, err := model.ParseAnnotation(s)
@@ -179,10 +206,10 @@ func shardingSchema() *model.Schema {
 			{Name: "identifier", Type: model.TypeString},
 			{Name: "status", Type: model.TypeString, Sensitive: true, Annotation: must("C5, op [I, EQ, BL], tactic [DET, BIEX-2Lev]")},
 			{Name: "code", Type: model.TypeString, Sensitive: true, Annotation: must("C5, op [I, EQ, BL], tactic [DET, BIEX-2Lev]")},
-			{Name: "subject", Type: model.TypeString, Sensitive: true, Annotation: must("C2, op [I, EQ], tactic [Mitra]")},
+			{Name: "subject", Type: model.TypeString, Sensitive: true, Annotation: must("C3, op [I, EQ, BL], tactic [Mitra, BIEX-2Lev]")},
 			{Name: "effective", Type: model.TypeInt, Sensitive: true, Annotation: must("C5, op [I, RG], tactic [OPE]")},
-			{Name: "issued", Type: model.TypeInt, Sensitive: true, Annotation: must("C4, op [I, EQ], tactic [DET]")},
-			{Name: "performer", Type: model.TypeString},
+			{Name: "issued", Type: model.TypeInt, Sensitive: true, Annotation: must("C4, op [I, EQ, BL], tactic [DET, BIEX-2Lev]")},
+			{Name: "performer", Type: model.TypeString, Sensitive: true, Annotation: must("C3, op [I, EQ, BL], tactic [Mitra, BIEX-2Lev]")},
 			{Name: "value", Type: model.TypeFloat},
 		},
 	}
@@ -274,10 +301,21 @@ func shardingQueries(cfg ShardingConfig, docs []*model.Document, patients []stri
 	for i := 0; i < cfg.BoolQueries; i++ {
 		status := core.Eq{Field: "status", Value: fhir.Statuses[i%len(fhir.Statuses)]}
 		code := core.Eq{Field: "code", Value: fhir.Codes[i%len(fhir.Codes)]}
-		if i%2 == 0 {
+		// Half the boolean load is patient/practitioner-anchored — the
+		// clinical shape ("patient X's final observations") — whose
+		// high-cardinality anchors route conjunctions across the whole
+		// ring; the other half stays on the enum pairs.
+		switch i % 4 {
+		case 0:
 			qs = append(qs, core.And{Preds: []core.Predicate{status, code}})
-		} else {
+		case 1:
 			qs = append(qs, core.Or{Preds: []core.Predicate{status, code}})
+		case 2:
+			subject := core.Eq{Field: "subject", Value: patients[i%len(patients)]}
+			qs = append(qs, core.And{Preds: []core.Predicate{subject, status}})
+		default:
+			performer := core.Eq{Field: "performer", Value: docs[i%len(docs)].Fields["performer"]}
+			qs = append(qs, core.And{Preds: []core.Predicate{performer, code}})
 		}
 	}
 	if cfg.RangeQueries > 0 {
@@ -362,6 +400,8 @@ func runShardingDeployment(ctx context.Context, cfg ShardingConfig, n int) (Shar
 		}
 		run.DocsPerShard = append(run.DocsPerShard, st.Collections[schema])
 		run.IndexKeysPerShard = append(run.IndexKeysPerShard, keyTotal)
+		run.BiexKeysPerShard = append(run.BiexKeysPerShard,
+			st.Namespaces["emm"].Keys+st.Namespaces["zmf"].Keys)
 	}
 	for _, nc := range wrapped {
 		run.RPCsPerShard = append(run.RPCsPerShard, int(nc.calls.Load()))
@@ -388,17 +428,22 @@ func RunSharding(ctx context.Context, cfg ShardingConfig) (ShardingResult, error
 		}
 		r.Runs = append(r.Runs, run)
 	}
-	var at1, at4 float64
+	var at1, at4, at8 float64
 	for _, run := range r.Runs {
 		switch run.Shards {
 		case 1:
 			at1 = run.AggregateThroughput
 		case 4:
 			at4 = run.AggregateThroughput
+		case 8:
+			at8 = run.AggregateThroughput
 		}
 	}
 	if at1 > 0 && at4 > 0 {
 		r.Speedup4v1 = at4 / at1
+	}
+	if at1 > 0 && at8 > 0 {
+		r.Speedup8v1 = at8 / at1
 	}
 	return r, nil
 }
@@ -420,8 +465,8 @@ func FormatSharding(r ShardingResult) string {
 	fmt.Fprintf(&b, "Sharding experiment (%d inserts + %d queries, %d users, node width %d, service time %v)\n\n",
 		r.Config.Inserts, r.Config.EqQueries+r.Config.BoolQueries+r.Config.RangeQueries,
 		r.Config.Users, r.Config.NodeWidth, r.Config.ServiceTime)
-	fmt.Fprintf(&b, "%6s %12s %12s %12s %10s   %s\n",
-		"shards", "insert/s", "query/s", "aggregate/s", "speedup", "rpcs/shard")
+	fmt.Fprintf(&b, "%6s %12s %12s %12s %10s %10s   %s\n",
+		"shards", "insert/s", "query/s", "aggregate/s", "speedup", "biex-bal", "rpcs/shard")
 	var base float64
 	for _, run := range r.Runs {
 		if run.Shards == 1 {
@@ -433,12 +478,32 @@ func FormatSharding(r ShardingResult) string {
 		if base > 0 {
 			su = fmt.Sprintf("%.2fx", run.AggregateThroughput/base)
 		}
-		fmt.Fprintf(&b, "%6d %12.1f %12.1f %12.1f %10s   %v\n",
+		bal := "-"
+		if lo, hi := minMax(run.BiexKeysPerShard); lo > 0 {
+			bal = fmt.Sprintf("%.2fx", float64(hi)/float64(lo))
+		}
+		fmt.Fprintf(&b, "%6d %12.1f %12.1f %12.1f %10s %10s   %v\n",
 			run.Shards, run.InsertThroughput, run.QueryThroughput,
-			run.AggregateThroughput, su, run.RPCsPerShard)
+			run.AggregateThroughput, su, bal, run.RPCsPerShard)
 	}
 	if r.Speedup4v1 > 0 {
 		fmt.Fprintf(&b, "\naggregate insert+query throughput at 4 shards: %.2fx the single-node tier\n", r.Speedup4v1)
 	}
+	if r.Speedup8v1 > 0 {
+		fmt.Fprintf(&b, "aggregate insert+query throughput at 8 shards: %.2fx the single-node tier\n", r.Speedup8v1)
+	}
 	return b.String()
+}
+
+// minMax returns the smallest and largest element (0, 0 for empty input).
+func minMax(xs []int) (lo, hi int) {
+	for i, x := range xs {
+		if i == 0 || x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
 }

@@ -22,7 +22,9 @@ import (
 //
 //  1. If every leaf is an equality on a field whose plan routes boolean
 //     search to the same tactic, the whole tree compiles to one DNF query
-//     executed cloud-side (BIEX).
+//     executed cloud-side (BIEX). On a sharded tier the tactic fans the
+//     query's conjunctions out to the shards owning their anchor keywords
+//     and merges — boolean search scatter-gathers like every other class.
 //  2. Otherwise the tree is evaluated recursively: leaves dispatch to the
 //     per-field equality/range tactic; AND/OR/NOT combine id sets at the
 //     gateway (the EqResolution/BoolResolution interfaces).

@@ -21,9 +21,41 @@
 // version without inserting, so stale index cells resolve to superseded
 // versions and are dropped at resolution time. This layers dynamism over
 // the static IEX structures without server-side tombstones.
+//
+// # Keyword partitioning
+//
+// The index shards by keyword: every keyword carries a routing label (a
+// PRF of the keyword, independent of the cell addresses), and all state a
+// conjunction anchored at that keyword needs co-locates on the label's
+// shard — the keyword's global-multimap cells, a replica of every cross
+// pair cell the keyword participates in, and (ZMF) the filters of its
+// co-occurring keywords. Insert takes a ShardFunc and returns one Entries
+// batch per shard; Token stamps each conjunction with its anchor's label
+// so the caller can route it. A conjunction therefore still resolves
+// entirely server-side on one shard (the sub-linear IEX walk is
+// preserved), while distinct anchor keywords — and hence the index as a
+// whole — spread across the tier.
+//
+// # Hot-keyword spill
+//
+// Keyword-granular placement alone cannot balance a skewed corpus: an
+// enum keyword matching a fifth of all documents pins that fifth's cells
+// (and every pair replica it anchors) to one shard. Each keyword's index
+// therefore splits into fixed-size spill buckets: the client counts the
+// keyword's inserts, and every SpillThreshold of them open a new bucket
+// with its own routing label. A document's cells for keyword w — its
+// global cell, the pair replicas anchored at w, the filters shipped for
+// w's benefit — all place by w's bucket at that insert, so each bucket
+// shard holds a self-contained slice of the keyword's index and refines
+// its conjunctions entirely locally. Queries anchored at w fan to its
+// buckets (cold keywords have exactly one, keeping the single-shard
+// resolution of the long tail) and union the slices. Bucket membership is
+// a pure function of client-side counters, so placement needs no
+// directory and survives restarts.
 package biex
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,6 +84,13 @@ var (
 	ErrEmptyQuery        = errors.New("biex: empty query")
 	ErrBadVariant        = errors.New("biex: unknown variant")
 )
+
+// SpillThreshold is how many inserts of one keyword share a spill bucket
+// before the next bucket (and routing label) opens. Low enough that an
+// enum keyword matching a large corpus fraction spreads over several
+// shards; high enough that the long tail of rare keywords stays in bucket
+// 0 and keeps single-shard conjunction resolution.
+const SpillThreshold = 32
 
 // Literal is one keyword occurrence in a conjunction.
 type Literal struct {
@@ -94,6 +133,11 @@ type Constraint struct {
 type ConjToken struct {
 	Anchor      emm.SearchToken `json:"anchor"`
 	Constraints []Constraint    `json:"constraints,omitempty"`
+	// Route is the anchor keyword's routing label: the shard owning it
+	// holds every cell this conjunction touches. Gateway-side only — the
+	// server resolves whatever conjunctions it is handed, so the label is
+	// never serialized toward the untrusted zone.
+	Route string `json:"-"`
 }
 
 // SearchToken resolves a full DNF query.
@@ -101,14 +145,20 @@ type SearchToken struct {
 	Conjunctions []ConjToken `json:"conjunctions"`
 }
 
-// State persists the client's per-document versions on top of the EMM
-// counter state.
+// State persists the client's per-document versions and per-keyword spill
+// counters on top of the EMM counter state.
 type State interface {
 	emm.State
 	// Version returns the current version of id (0 = never inserted).
 	Version(namespace, id string) (uint64, error)
 	// SetVersion stores the current version of id.
 	SetVersion(namespace, id string, v uint64) error
+	// Spill returns how many inserts of keyword w have been indexed
+	// (0 = never seen). Spill/SpillThreshold is the keyword's current
+	// bucket.
+	Spill(namespace, w string) (uint64, error)
+	// SetSpill stores keyword w's insert count.
+	SetSpill(namespace, w string, n uint64) error
 }
 
 // MemState is an in-memory State.
@@ -116,11 +166,16 @@ type MemState struct {
 	*emm.MemState
 	mu sync.RWMutex
 	v  map[string]uint64
+	sp map[string]uint64
 }
 
 // NewMemState returns an empty MemState.
 func NewMemState() *MemState {
-	return &MemState{MemState: emm.NewMemState(), v: make(map[string]uint64)}
+	return &MemState{
+		MemState: emm.NewMemState(),
+		v:        make(map[string]uint64),
+		sp:       make(map[string]uint64),
+	}
 }
 
 // Version implements State.
@@ -135,6 +190,21 @@ func (s *MemState) SetVersion(namespace, id string, v uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.v[namespace+"\x00"+id] = v
+	return nil
+}
+
+// Spill implements State.
+func (s *MemState) Spill(namespace, w string) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sp[namespace+"\x00"+w], nil
+}
+
+// SetSpill implements State.
+func (s *MemState) SetSpill(namespace, w string, n uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sp[namespace+"\x00"+w] = n
 	return nil
 }
 
@@ -167,6 +237,24 @@ func (s *KVState) SetVersion(namespace, id string, v uint64) error {
 	return s.store.Set([]byte("biexver/"+namespace+"\x00"+id), []byte(strconv.FormatUint(v, 10)))
 }
 
+// Spill implements State.
+func (s *KVState) Spill(namespace, w string) (uint64, error) {
+	raw, ok, err := s.store.Get([]byte("biexspill/" + namespace + "\x00" + w))
+	if err != nil || !ok {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("biex: decoding spill counter: %w", err)
+	}
+	return n, nil
+}
+
+// SetSpill implements State.
+func (s *KVState) SetSpill(namespace, w string, n uint64) error {
+	return s.store.Set([]byte("biexspill/"+namespace+"\x00"+w), []byte(strconv.FormatUint(n, 10)))
+}
+
 func versionedID(id string, v uint64) string {
 	return id + "#" + strconv.FormatUint(v, 10)
 }
@@ -192,6 +280,16 @@ func pairKeyword(a, b string) string {
 	return a + "\x00" + b
 }
 
+// bucketKeyword names keyword w's spill bucket b in the global multimap.
+// Every bucket — including bucket 0 — is encoded uniformly, so each has
+// its own EMM counter and packed state and compaction can repack one
+// bucket without disturbing its siblings. Cross pair cells and ZMF
+// filters keep raw keyword addressing: buckets partition *placement*, not
+// the cross structures' key space.
+func bucketKeyword(w string, b uint64) string {
+	return strconv.FormatUint(b, 10) + "\x00" + w
+}
+
 // Entries is the batch of server updates produced by one client operation.
 type Entries struct {
 	Global []emm.Entry       `json:"global,omitempty"`
@@ -199,12 +297,22 @@ type Entries struct {
 	Filter []zmf.UpdateEntry `json:"filter,omitempty"`
 }
 
+// ShardFunc maps a routing label to the index of the shard owning it.
+// Single-node deployments pass SingleShard; sharded gateways pass the
+// consistent-hash ring's lookup.
+type ShardFunc func(label string) int
+
+// SingleShard is the ShardFunc of an unsharded deployment: everything
+// lands on shard 0.
+func SingleShard(string) int { return 0 }
+
 // Client is the gateway half of BIEX.
 type Client struct {
 	variant Variant
 	global  *emm.Client
 	cross   *emm.Client
 	filters *zmf.Client
+	route   primitives.Key // derives per-keyword routing labels
 	state   State
 }
 
@@ -218,6 +326,7 @@ func NewClient(key primitives.Key, state State, variant Variant) (*Client, error
 		global:  emm.NewClient(primitives.PRFKey(key, []byte("biex-global")), state),
 		cross:   emm.NewClient(primitives.PRFKey(key, []byte("biex-cross")), state),
 		filters: zmf.NewClient(primitives.PRFKey(key, []byte("biex-zmf"))),
+		route:   primitives.PRFKey(key, []byte("biex-route")),
 		state:   state,
 	}, nil
 }
@@ -225,16 +334,57 @@ func NewClient(key primitives.Key, state State, variant Variant) (*Client, error
 // Variant reports the client's cross-structure variant.
 func (c *Client) Variant() Variant { return c.variant }
 
-// Insert indexes a document's keywords, assigning a fresh version. The
-// caller delivers the returned entries to Server.Insert.
-func (c *Client) Insert(namespace, id string, keywords []string) (Entries, error) {
+// BucketRoute returns the routing label of keyword w's spill bucket: the
+// pseudorandom, stable key that places that bucket's index state on a
+// shard. It is derived independently of the cell addresses, so handing it
+// to a router leaks nothing beyond which operations share a (keyword,
+// bucket) — which the search tokens reveal anyway.
+func (c *Client) BucketRoute(namespace, w string, bucket uint64) string {
+	return hex.EncodeToString(primitives.PRF(
+		c.route, []byte(namespace), []byte{0}, []byte(w), []byte{0},
+		[]byte(strconv.FormatUint(bucket, 10))))
+}
+
+// Buckets reports how many spill buckets keyword w currently spans: at
+// least 1 (a never-seen keyword still owns its empty bucket 0), growing
+// by one for every SpillThreshold inserts.
+func (c *Client) Buckets(namespace, w string) (int, error) {
+	n, err := c.state.Spill(namespace, w)
+	if err != nil || n == 0 {
+		return 1, err
+	}
+	return int((n-1)/SpillThreshold) + 1, nil
+}
+
+// Insert indexes a document's keywords, assigning a fresh version, and
+// groups the produced entries by owning shard (per shardOf over each
+// keyword's current spill-bucket routing label). The caller delivers each
+// batch to the matching shard's Server.Insert. Placement invariants:
+//
+//   - a keyword's global cell lands on the shard of its current spill
+//     bucket (the bucket also names the cell, giving each bucket its own
+//     EMM counter);
+//   - a cross pair cell is appended once (one counter bump) but shipped
+//     to both member keywords' bucket shards, so whichever of the two
+//     anchors a future conjunction can refine server-side;
+//   - a ZMF filter update for keyword u is shipped to the bucket shard of
+//     every keyword co-occurring with u in this document — exactly the
+//     shards that can anchor a conjunction constraining on u. On a single
+//     shard this degenerates to one update per keyword pair set, and a
+//     document's sole keyword needs no filter at all (a filter is only
+//     consulted for candidates that matched a co-occurring anchor).
+//
+// All of a document's cells for keyword w place by one bucket, so that
+// bucket's shard holds a self-contained slice of w's index: anchoring a
+// conjunction there never needs another shard's cells.
+func (c *Client) Insert(namespace, id string, keywords []string, shardOf ShardFunc) (map[int]*Entries, error) {
 	v, err := c.state.Version(namespace, id)
 	if err != nil {
-		return Entries{}, err
+		return nil, err
 	}
 	v++
 	if err := c.state.SetVersion(namespace, id, v); err != nil {
-		return Entries{}, err
+		return nil, err
 	}
 	vid := versionedID(id, v)
 
@@ -249,13 +399,36 @@ func (c *Client) Insert(namespace, id string, keywords []string) (Entries, error
 	}
 	sort.Strings(uniq)
 
-	var out Entries
-	for _, w := range uniq {
-		e, err := c.global.Append(namespace, w, vid)
+	shard := make([]int, len(uniq))
+	bucket := make([]uint64, len(uniq))
+	for i, w := range uniq {
+		n, err := c.state.Spill(namespace, w)
 		if err != nil {
-			return Entries{}, err
+			return nil, err
 		}
-		out.Global = append(out.Global, e)
+		bucket[i] = n / SpillThreshold
+		if err := c.state.SetSpill(namespace, w, n+1); err != nil {
+			return nil, err
+		}
+		shard[i] = shardOf(c.BucketRoute(namespace, w, bucket[i]))
+	}
+	out := make(map[int]*Entries)
+	grp := func(s int) *Entries {
+		e, ok := out[s]
+		if !ok {
+			e = &Entries{}
+			out[s] = e
+		}
+		return e
+	}
+
+	for i, w := range uniq {
+		e, err := c.global.Append(namespace, bucketKeyword(w, bucket[i]), vid)
+		if err != nil {
+			return nil, err
+		}
+		g := grp(shard[i])
+		g.Global = append(g.Global, e)
 	}
 	switch c.variant {
 	case Variant2Lev:
@@ -263,14 +436,32 @@ func (c *Client) Insert(namespace, id string, keywords []string) (Entries, error
 			for j := i + 1; j < len(uniq); j++ {
 				e, err := c.cross.Append(namespace, pairKeyword(uniq[i], uniq[j]), vid)
 				if err != nil {
-					return Entries{}, err
+					return nil, err
 				}
-				out.Cross = append(out.Cross, e)
+				gi := grp(shard[i])
+				gi.Cross = append(gi.Cross, e)
+				if shard[j] != shard[i] {
+					gj := grp(shard[j])
+					gj.Cross = append(gj.Cross, e)
+				}
 			}
 		}
 	case VariantZMF:
-		for _, w := range uniq {
-			out.Filter = append(out.Filter, c.filters.Insert(namespace, w, vid))
+		for i, w := range uniq {
+			var entry *zmf.UpdateEntry
+			targets := make(map[int]bool, len(uniq)-1)
+			for j := range uniq {
+				if j == i || targets[shard[j]] {
+					continue
+				}
+				targets[shard[j]] = true
+				if entry == nil {
+					e := c.filters.Insert(namespace, w, vid)
+					entry = &e
+				}
+				g := grp(shard[j])
+				g.Filter = append(g.Filter, *entry)
+			}
 		}
 	}
 	return out, nil
@@ -289,7 +480,11 @@ func (c *Client) Delete(namespace, id string) error {
 	return c.state.SetVersion(namespace, id, v+1)
 }
 
-// Token compiles a DNF query into a search token.
+// Token compiles a DNF query into a search token. A conjunction whose
+// anchor keyword has spilled into several buckets becomes one ConjToken
+// per bucket — identical constraints, bucket-specific anchor and route —
+// and the server-side union of the bucket slices reproduces the
+// single-shard result (a document version lands in exactly one bucket).
 func (c *Client) Token(namespace string, q Query) (SearchToken, error) {
 	if err := q.Validate(); err != nil {
 		return SearchToken{}, err
@@ -305,11 +500,7 @@ func (c *Client) Token(namespace string, q Query) (SearchToken, error) {
 			}
 		}
 		anchorKw := conj[anchorIdx].Keyword
-		anchor, err := c.global.Token(namespace, anchorKw)
-		if err != nil {
-			return SearchToken{}, err
-		}
-		ct := ConjToken{Anchor: anchor}
+		var constraints []Constraint
 		unsatisfiable := false
 		for i, l := range conj {
 			if i == anchorIdx {
@@ -330,7 +521,7 @@ func (c *Client) Token(namespace string, q Query) (SearchToken, error) {
 			con.Negated = l.Negated
 			switch c.variant {
 			case Variant2Lev:
-				t, err := c.cross.Token(namespace, pairKeyword(conj[anchorIdx].Keyword, l.Keyword))
+				t, err := c.cross.Token(namespace, pairKeyword(anchorKw, l.Keyword))
 				if err != nil {
 					return SearchToken{}, err
 				}
@@ -339,12 +530,26 @@ func (c *Client) Token(namespace string, q Query) (SearchToken, error) {
 				t := c.filters.Token(namespace, l.Keyword)
 				con.Filter = &t
 			}
-			ct.Constraints = append(ct.Constraints, con)
+			constraints = append(constraints, con)
 		}
 		if unsatisfiable {
 			continue
 		}
-		tok.Conjunctions = append(tok.Conjunctions, ct)
+		buckets, err := c.Buckets(namespace, anchorKw)
+		if err != nil {
+			return SearchToken{}, err
+		}
+		for b := 0; b < buckets; b++ {
+			anchor, err := c.global.Token(namespace, bucketKeyword(anchorKw, uint64(b)))
+			if err != nil {
+				return SearchToken{}, err
+			}
+			tok.Conjunctions = append(tok.Conjunctions, ConjToken{
+				Anchor:      anchor,
+				Constraints: constraints,
+				Route:       c.BucketRoute(namespace, anchorKw, uint64(b)),
+			})
+		}
 	}
 	return tok, nil
 }
@@ -373,18 +578,35 @@ func (c *Client) LiveVersioned(namespace string, vids []string) ([]string, error
 	return out, nil
 }
 
-// RepackGlobal rebuilds keyword w's global-multimap list into 2Lev packed
-// buckets holding exactly the given live versioned ids, superseding the
-// dynamic tail cells accumulated by inserts. It returns the new bucket
-// entries and the addresses of the now-stale cells; deliver both to
-// Server.RepackGlobal. Read efficiency improves from one fetch per id to
-// one fetch per bucket.
-func (c *Client) RepackGlobal(namespace, w string, liveVids []string) (entries []emm.Entry, stale [][]byte, err error) {
-	entries, old, _, err := c.global.BuildPacked(namespace, w, liveVids)
+// BucketToken builds a single-conjunction token fetching every cell of
+// keyword w's spill bucket, for compaction sweeps. Route it with
+// BucketRoute(namespace, w, bucket).
+func (c *Client) BucketToken(namespace, w string, bucket uint64) (SearchToken, error) {
+	anchor, err := c.global.Token(namespace, bucketKeyword(w, bucket))
+	if err != nil {
+		return SearchToken{}, err
+	}
+	return SearchToken{Conjunctions: []ConjToken{{
+		Anchor: anchor,
+		Route:  c.BucketRoute(namespace, w, bucket),
+	}}}, nil
+}
+
+// RepackGlobal rebuilds one spill bucket of keyword w's global-multimap
+// list into 2Lev packed buckets holding exactly the given live versioned
+// ids, superseding the dynamic tail cells accumulated by inserts. It
+// returns the new bucket entries and the addresses of the now-stale
+// cells; deliver both to Server.RepackGlobal on the spill bucket's shard
+// — the packed cells stay co-located with that bucket's pair replicas and
+// filters. Read efficiency improves from one fetch per id to one fetch
+// per packed bucket.
+func (c *Client) RepackGlobal(namespace, w string, bucket uint64, liveVids []string) (entries []emm.Entry, stale [][]byte, err error) {
+	bw := bucketKeyword(w, bucket)
+	entries, old, _, err := c.global.BuildPacked(namespace, bw, liveVids)
 	if err != nil {
 		return nil, nil, err
 	}
-	return entries, c.global.StaleAddrs(namespace, w, old), nil
+	return entries, c.global.StaleAddrs(namespace, bw, old), nil
 }
 
 // Resolve filters the server's versioned results down to live document

@@ -26,12 +26,14 @@ func setup(t testing.TB, v Variant) (*Client, *Server) {
 
 func insert(t testing.TB, c *Client, s *Server, id string, kws ...string) {
 	t.Helper()
-	e, err := c.Insert("obs", id, kws)
+	groups, err := c.Insert("obs", id, kws, SingleShard)
 	if err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	if err := s.Insert(e); err != nil {
-		t.Fatalf("server Insert: %v", err)
+	for _, e := range groups {
+		if err := s.Insert(*e); err != nil {
+			t.Fatalf("server Insert: %v", err)
+		}
 	}
 }
 
@@ -251,19 +253,23 @@ func TestVariantsAgreeQuick(t *testing.T) {
 		}
 		id := fmt.Sprintf("d%03d", nextID)
 		nextID++
-		e2, err := c2.Insert("obs", id, kws)
+		e2, err := c2.Insert("obs", id, kws, SingleShard)
 		if err != nil {
 			return false
 		}
-		if err := s2.Insert(e2); err != nil {
-			return false
+		for _, e := range e2 {
+			if err := s2.Insert(*e); err != nil {
+				return false
+			}
 		}
-		ez, err := cz.Insert("obs", id, kws)
+		ez, err := cz.Insert("obs", id, kws, SingleShard)
 		if err != nil {
 			return false
 		}
-		if err := sz.Insert(ez); err != nil {
-			return false
+		for _, e := range ez {
+			if err := sz.Insert(*e); err != nil {
+				return false
+			}
 		}
 		ref[id] = make(map[string]bool)
 		for _, w := range kws {
@@ -307,6 +313,189 @@ func runQuiet(c *Client, s *Server, q Query) []string {
 	return ids
 }
 
+// TestPartitionedMatchesSingleServer drives the sharded placement contract
+// directly: the same corpus lands on one server via SingleShard and on
+// three servers via a hash of the routing label, and every query — routed
+// per conjunction to the shard owning its anchor's label, results merged
+// — must agree with the single-server run.
+func TestPartitionedMatchesSingleServer(t *testing.T) {
+	variants(t, func(t *testing.T, v Variant) {
+		key, err := primitives.NewRandomKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := NewClient(key, NewMemState(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parted, err := NewClient(key, NewMemState(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := NewServer(kvstore.New(), "obs")
+		shards := []*Server{
+			NewServer(kvstore.New(), "obs"),
+			NewServer(kvstore.New(), "obs"),
+			NewServer(kvstore.New(), "obs"),
+		}
+		shardOf := func(label string) int {
+			h := 0
+			for i := 0; i < len(label); i++ {
+				h = h*31 + int(label[i])
+			}
+			if h < 0 {
+				h = -h
+			}
+			return h % len(shards)
+		}
+
+		docs := map[string][]string{
+			"d1": {"status=final", "code=glucose", "interp=high"},
+			"d2": {"status=final", "code=glucose", "interp=normal"},
+			"d3": {"status=draft", "code=glucose", "interp=high"},
+			"d4": {"status=final", "code=insulin", "interp=high"},
+			"d5": {"status=final"},
+		}
+		touched := make(map[int]bool)
+		for id, kws := range docs {
+			insert(t, single, ss, id, kws...)
+			groups, err := parted.Insert("obs", id, kws, shardOf)
+			if err != nil {
+				t.Fatalf("Insert(%s): %v", id, err)
+			}
+			for s, e := range groups {
+				touched[s] = true
+				if err := shards[s].Insert(*e); err != nil {
+					t.Fatalf("shard %d Insert: %v", s, err)
+				}
+			}
+		}
+		if len(touched) < 2 {
+			t.Fatalf("entries landed on %d shards — partitioning is not spreading", len(touched))
+		}
+
+		runParted := func(q Query) []string {
+			tok, err := parted.Token("obs", q)
+			if err != nil {
+				t.Fatalf("Token: %v", err)
+			}
+			var lists [][]string
+			for s := range shards {
+				var sub SearchToken
+				for _, ct := range tok.Conjunctions {
+					if shardOf(ct.Route) == s {
+						sub.Conjunctions = append(sub.Conjunctions, ct)
+					}
+				}
+				if len(sub.Conjunctions) == 0 {
+					continue
+				}
+				vids, err := shards[s].Search(sub)
+				if err != nil {
+					t.Fatalf("shard %d Search: %v", s, err)
+				}
+				lists = append(lists, vids)
+			}
+			merged := make(map[string]bool)
+			var union []string
+			for _, l := range lists {
+				for _, vid := range l {
+					if !merged[vid] {
+						merged[vid] = true
+						union = append(union, vid)
+					}
+				}
+			}
+			ids, err := parted.Resolve("obs", union)
+			if err != nil {
+				t.Fatalf("Resolve: %v", err)
+			}
+			return ids
+		}
+
+		queries := []Query{
+			{{pos("code=glucose")}},
+			{{pos("status=final"), pos("code=glucose")}},
+			{{pos("status=final"), pos("code=glucose"), pos("interp=high")}},
+			{{pos("status=final"), neg("interp=high")}},
+			{{pos("code=glucose"), pos("interp=high")}, {pos("code=insulin")}},
+			{{pos("code=never")}},
+			{{pos("status=draft"), pos("code=insulin")}},
+		}
+		for i, q := range queries {
+			want := run(t, single, ss, q)
+			got := runParted(q)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("query %d: partitioned %v != single %v", i, got, want)
+			}
+		}
+	})
+}
+
+func TestBucketRouteStableAndScoped(t *testing.T) {
+	c, _ := setup(t, Variant2Lev)
+	if c.BucketRoute("obs", "w", 0) != c.BucketRoute("obs", "w", 0) {
+		t.Fatal("routing label not deterministic")
+	}
+	if c.BucketRoute("obs", "w", 0) == c.BucketRoute("obs", "x", 0) {
+		t.Fatal("distinct keywords share a routing label")
+	}
+	if c.BucketRoute("obs", "w", 0) == c.BucketRoute("other", "w", 0) {
+		t.Fatal("routing label leaks across namespaces")
+	}
+	if c.BucketRoute("obs", "w", 0) == c.BucketRoute("obs", "w", 1) {
+		t.Fatal("distinct spill buckets share a routing label")
+	}
+}
+
+// TestSpillFansHotKeywordAcrossBuckets drives one keyword past several
+// spill thresholds and checks (a) the query fans one ConjToken per
+// bucket, each with a distinct route, (b) the union over bucket slices
+// equals the full corpus, and (c) a cold keyword stays single-bucket.
+func TestSpillFansHotKeywordAcrossBuckets(t *testing.T) {
+	for _, v := range []Variant{Variant2Lev, VariantZMF} {
+		t.Run(string(v), func(t *testing.T) {
+			c, s := setup(t, v)
+			const docs = SpillThreshold*2 + 5 // 3 buckets
+			var want []string
+			for i := 0; i < docs; i++ {
+				id := fmt.Sprintf("d%03d", i)
+				want = append(want, id)
+				insert(t, c, s, id, "status=final", fmt.Sprintf("seq=%03d", i))
+			}
+			if n, _ := c.Buckets("obs", "status=final"); n != 3 {
+				t.Fatalf("Buckets(hot) = %d, want 3", n)
+			}
+			if n, _ := c.Buckets("obs", "seq=000"); n != 1 {
+				t.Fatalf("Buckets(cold) = %d, want 1", n)
+			}
+			tok, err := c.Token("obs", Query{{pos("status=final")}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tok.Conjunctions) != 3 {
+				t.Fatalf("hot conjunction fanned to %d sub-tokens, want 3", len(tok.Conjunctions))
+			}
+			routes := make(map[string]bool)
+			for _, ct := range tok.Conjunctions {
+				routes[ct.Route] = true
+			}
+			if len(routes) != 3 {
+				t.Fatalf("%d distinct routes across 3 buckets", len(routes))
+			}
+			got := run(t, c, s, Query{{pos("status=final")}})
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("spilled union = %v, want all %d docs", got, docs)
+			}
+			// A conjunction refines within each bucket slice too.
+			got = run(t, c, s, Query{{pos("status=final"), pos(fmt.Sprintf("seq=%03d", docs-1))}})
+			if fmt.Sprint(got) != fmt.Sprint([]string{fmt.Sprintf("d%03d", docs-1)}) {
+				t.Fatalf("conjunction across spill = %v", got)
+			}
+		})
+	}
+}
+
 func TestKVStateVersions(t *testing.T) {
 	st := NewKVState(kvstore.New())
 	if err := st.SetVersion("ns", "d1", 3); err != nil {
@@ -321,37 +510,26 @@ func TestKVStateVersions(t *testing.T) {
 	}
 }
 
-func BenchmarkInsert2Lev5Keywords(b *testing.B) {
-	c, s := setup(b, Variant2Lev)
+func benchInsert(b *testing.B, v Variant) {
+	c, s := setup(b, v)
 	kws := []string{"a", "b", "c", "d", "e"}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e, err := c.Insert("obs", fmt.Sprintf("d%d", i), kws)
+		groups, err := c.Insert("obs", fmt.Sprintf("d%d", i), kws, SingleShard)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := s.Insert(e); err != nil {
-			b.Fatal(err)
+		for _, e := range groups {
+			if err := s.Insert(*e); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
 
-func BenchmarkInsertZMF5Keywords(b *testing.B) {
-	c, s := setup(b, VariantZMF)
-	kws := []string{"a", "b", "c", "d", "e"}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e, err := c.Insert("obs", fmt.Sprintf("d%d", i), kws)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := s.Insert(e); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkInsert2Lev5Keywords(b *testing.B) { benchInsert(b, Variant2Lev) }
+func BenchmarkInsertZMF5Keywords(b *testing.B)  { benchInsert(b, VariantZMF) }
 
 func benchConjunction(b *testing.B, v Variant) {
 	c, s := setup(b, v)
@@ -360,8 +538,10 @@ func benchConjunction(b *testing.B, v Variant) {
 		if i%10 == 0 {
 			kws = append(kws, "rare")
 		}
-		e, _ := c.Insert("obs", fmt.Sprintf("d%d", i), kws)
-		s.Insert(e)
+		groups, _ := c.Insert("obs", fmt.Sprintf("d%d", i), kws, SingleShard)
+		for _, e := range groups {
+			s.Insert(*e)
+		}
 	}
 	q := Query{{pos("common"), pos("rare")}}
 	b.ReportAllocs()

@@ -15,9 +15,12 @@ package biex
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"sort"
 	"sync"
 
 	"datablinder/internal/cloud/ring"
+	"datablinder/internal/conc"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
@@ -98,7 +101,14 @@ func describe(name string, variant ssebiex.Variant) spi.Descriptor {
 	}
 }
 
-// Tactic is the gateway half of either variant.
+// Tactic is the gateway half of either variant. The index partitions by
+// keyword: every cell routes to the ring shard owning its (anchor)
+// keyword's current spill-bucket label, with cross-structure state
+// replicated so a conjunction resolves entirely on its anchor's bucket
+// shards. Inserts, DNF searches, and per-bucket maintenance (Compact)
+// all fan out to the owning shards in parallel; hot keywords spread over
+// several shards in SpillThreshold-sized bucket slices while the long
+// tail keeps single-shard resolution.
 type Tactic struct {
 	binding spi.Binding
 	shards  *ring.Ring
@@ -106,12 +116,6 @@ type Tactic struct {
 	variant ssebiex.Variant
 	client  *ssebiex.Client
 	ns      string
-	// route places the whole namespace on one shard: BIEX's cross-keyword
-	// pair multimap relates every keyword to every other, so the index
-	// cannot split by keyword without breaking conjunction refinement.
-	// This is the deliberate scaling limit documented in EXPERIMENTS.md —
-	// boolean search throughput does not grow with the shard count.
-	route string
 }
 
 func newTactic(name string, variant ssebiex.Variant) spi.Factory {
@@ -124,7 +128,6 @@ func newTactic(name string, variant ssebiex.Variant) spi.Factory {
 		if err != nil {
 			return nil, err
 		}
-		ns := b.Schema + "|" + string(variant)
 		return &Tactic{
 			binding: b,
 			shards:  ring.Of(b.Cloud),
@@ -133,8 +136,7 @@ func newTactic(name string, variant ssebiex.Variant) spi.Factory {
 			client:  client,
 			// Distinct namespaces keep the two variants' indexes and
 			// version counters apart when both serve the same schema.
-			ns:    ns,
-			route: "biex/" + ns,
+			ns: b.Schema + "|" + string(variant),
 		}, nil
 	}
 }
@@ -159,18 +161,40 @@ func keyword(field string, value any) string {
 	return field + "=" + model.ValueToString(value)
 }
 
-// InsertDoc implements spi.DocInserter.
+// InsertDoc implements spi.DocInserter. The client groups the document's
+// index entries by owning shard; the batches ship in parallel. A partial
+// failure is compensated the way the engine compensates a failed document
+// insert — by superseding, not rolling back: Delete bumps the version
+// past the one the surviving batches indexed, so their cells resolve to a
+// stale version and drop out at resolution time. Rolling the version
+// counter back instead would let a later insert re-issue the same
+// versioned id and resurrect the orphaned cells.
 func (t *Tactic) InsertDoc(ctx context.Context, docID string, fields map[string]any) error {
 	kws := make([]string, 0, len(fields))
 	for f, v := range fields {
 		kws = append(kws, keyword(f, v))
 	}
-	entries, err := t.client.Insert(t.ns, docID, kws)
+	groups, err := t.client.Insert(t.ns, docID, kws, t.shards.Shard)
 	if err != nil {
 		return err
 	}
-	return t.shards.Call(ctx, t.route, Service, "insert",
-		InsertArgs{Namespace: t.ns, Entries: entries}, nil)
+	targets := make([]int, 0, len(groups))
+	for s := range groups {
+		targets = append(targets, s)
+	}
+	sort.Ints(targets)
+	err = conc.ForEach(ctx, len(targets), 0, func(gctx context.Context, i int) error {
+		s := targets[i]
+		return t.shards.Conn(s).Call(gctx, Service, "insert",
+			InsertArgs{Namespace: t.ns, Entries: *groups[s]}, nil)
+	})
+	if err != nil {
+		if derr := t.client.Delete(t.ns, docID); derr != nil {
+			return fmt.Errorf("biex: insert failed (%w) and compensation failed: %v", err, derr)
+		}
+		return fmt.Errorf("biex: insert failed, index entries superseded: %w", err)
+	}
+	return nil
 }
 
 // DeleteDoc implements spi.DocDeleter. Deletion is local: the document's
@@ -193,12 +217,34 @@ func (t *Tactic) SearchBool(ctx context.Context, q spi.BoolQuery) ([]string, err
 	if err != nil {
 		return nil, err
 	}
-	var reply SearchReply
-	if err := t.shards.Call(ctx, t.route, Service, "search",
-		SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
+	// Every conjunction resolves on the shard owning its anchor keyword;
+	// distinct anchors fan out in parallel and the union merges here. The
+	// token may compile to nothing (all conjunctions unsatisfiable).
+	if len(tok.Conjunctions) == 0 {
+		return t.client.Resolve(t.ns, nil)
+	}
+	groups := ring.GroupByShard(t.shards, tok.Conjunctions,
+		func(ct ssebiex.ConjToken) string { return ct.Route })
+	targets := make([]int, 0, len(groups))
+	for s := range groups {
+		targets = append(targets, s)
+	}
+	sort.Ints(targets)
+	perShard := make([][]string, len(targets))
+	err = conc.ForEach(ctx, len(targets), 0, func(gctx context.Context, i int) error {
+		s := targets[i]
+		var reply SearchReply
+		if err := t.shards.Conn(s).Call(gctx, Service, "search",
+			SearchArgs{Namespace: t.ns, Token: ssebiex.SearchToken{Conjunctions: groups[s]}}, &reply); err != nil {
+			return err
+		}
+		perShard[i] = reply.IDs
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return t.client.Resolve(t.ns, reply.IDs)
+	return t.client.Resolve(t.ns, ring.MergeSorted(perShard))
 }
 
 // SearchEq implements spi.EqSearcher as a single-keyword boolean query.
@@ -206,33 +252,46 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 	return t.SearchBool(ctx, spi.BoolQuery{{{Field: field, Value: value}}})
 }
 
-// Compact repacks one keyword's global-multimap list into 2Lev packed
-// buckets: it searches the current list, drops superseded versions, seals
-// the survivors into fixed-capacity buckets, and atomically swaps them in
-// cloud-side. Search cost for the keyword drops from one cell fetch per
-// update to one per BucketCapacity ids. Run it as maintenance on hot
-// keywords (the paper's static 2Lev build, amortized).
+// Compact repacks one keyword's global-multimap lists into 2Lev packed
+// buckets: it searches the current cells, drops superseded versions,
+// seals the survivors into fixed-capacity buckets, and atomically swaps
+// them in cloud-side. Search cost for the keyword drops from one cell
+// fetch per update to one per BucketCapacity ids. Run it as maintenance
+// on hot keywords (the paper's static 2Lev build, amortized).
+//
+// Compaction works one spill bucket at a time: each bucket's search and
+// repack land on the shard owning that bucket's routing label — the same
+// key insertion used to place its cells — so the packed cells stay
+// co-located with the bucket's pair replicas and filters. Buckets repack
+// in parallel; they share no state.
 func (t *Tactic) Compact(ctx context.Context, field string, value any) error {
 	w := keyword(field, value)
-	tok, err := t.client.Token(t.ns, ssebiex.Query{{{Keyword: w}}})
+	buckets, err := t.client.Buckets(t.ns, w)
 	if err != nil {
 		return err
 	}
-	var reply SearchReply
-	if err := t.shards.Call(ctx, t.route, Service, "search",
-		SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
-		return err
-	}
-	live, err := t.client.LiveVersioned(t.ns, reply.IDs)
-	if err != nil {
-		return err
-	}
-	entries, stale, err := t.client.RepackGlobal(t.ns, w, live)
-	if err != nil {
-		return err
-	}
-	return t.shards.Call(ctx, t.route, Service, "repack",
-		RepackArgs{Namespace: t.ns, Stale: stale, Entries: entries}, nil)
+	return conc.ForEach(ctx, buckets, 0, func(gctx context.Context, b int) error {
+		tok, err := t.client.BucketToken(t.ns, w, uint64(b))
+		if err != nil {
+			return err
+		}
+		route := t.client.BucketRoute(t.ns, w, uint64(b))
+		var reply SearchReply
+		if err := t.shards.Call(gctx, route, Service, "search",
+			SearchArgs{Namespace: t.ns, Token: tok}, &reply); err != nil {
+			return err
+		}
+		live, err := t.client.LiveVersioned(t.ns, reply.IDs)
+		if err != nil {
+			return err
+		}
+		entries, stale, err := t.client.RepackGlobal(t.ns, w, uint64(b), live)
+		if err != nil {
+			return err
+		}
+		return t.shards.Call(gctx, route, Service, "repack",
+			RepackArgs{Namespace: t.ns, Stale: stale, Entries: entries}, nil)
+	})
 }
 
 // RegisterCloud installs the cloud half on mux, backed by store. Both

@@ -40,7 +40,10 @@ func shardedSchema() *datablinder.Schema {
 			datablinder.MustField("subject", datablinder.TypeString, "C2, op [I, EQ], tactic [Mitra]"),
 			datablinder.MustField("performer", datablinder.TypeString, "C2, op [I, EQ], tactic [Sophos]"),
 			datablinder.MustField("note", datablinder.TypeString, "C1, op [I, EQ], tactic [RND]"),
-			datablinder.MustField("effective", datablinder.TypeInt, "C5, op [I, RG], tactic [OPE]"),
+			// effective carries BL too: its 60 distinct values give the
+			// keyword-partitioned BIEX index enough routing labels to reach
+			// every shard, which the balance assertion below depends on.
+			datablinder.MustField("effective", datablinder.TypeInt, "C5, op [I, RG, BL], tactic [OPE, BIEX-2Lev]"),
 			datablinder.MustField("amount", datablinder.TypeInt, "C5, op [I, RG], tactic [ORE]"),
 			datablinder.MustField("value", datablinder.TypeFloat, "C5, op [I, EQ], agg [sum, avg], tactic [DET, Paillier]"),
 		},
@@ -158,6 +161,28 @@ func TestShardedTierMatchesSingleNode(t *testing.T) {
 		datablinder.Eq{Field: "status", Value: "draft"},
 		datablinder.Eq{Field: "code", Value: "bmi"},
 	}})
+	// Boolean edge cases under sharding: a conjunction repeating its anchor
+	// literal, a conjunction spanning a high-cardinality keyword (the
+	// anchor and constraint live on different shards with high probability),
+	// and an empty-result conjunction.
+	sameIDs("boolean duplicate anchor", datablinder.And{Preds: []datablinder.Predicate{
+		datablinder.Eq{Field: "status", Value: "final"},
+		datablinder.Eq{Field: "status", Value: "final"},
+		datablinder.Eq{Field: "code", Value: "glucose"},
+	}})
+	sameIDs("boolean high-cardinality keyword", datablinder.And{Preds: []datablinder.Predicate{
+		datablinder.Eq{Field: "status", Value: "final"},
+		datablinder.Eq{Field: "effective", Value: int64(1600000000)},
+	}})
+	// status and code cycle in lockstep (both i%5), so "final" never
+	// co-occurs with "cholesterol": both deployments must agree on empty.
+	emptyQ := datablinder.And{Preds: []datablinder.Predicate{
+		datablinder.Eq{Field: "status", Value: "final"},
+		datablinder.Eq{Field: "code", Value: "cholesterol"},
+	}}
+	if got, want := sortedIDs(t, shardedCol, emptyQ), sortedIDs(t, singleCol, emptyQ); len(got) != 0 || len(want) != 0 {
+		t.Errorf("empty conjunction: sharded %v, single-node %v — want both empty", got, want)
+	}
 	sameIDs("range OPE effective", datablinder.Between("effective", int64(1600010000), int64(1600040000)))
 	sameIDs("range ORE amount", datablinder.Between("amount", int64(100), int64(300)))
 	sameIDs("mixed and (range + eq)", datablinder.And{Preds: []datablinder.Predicate{
@@ -247,8 +272,16 @@ func TestShardedTierMatchesSingleNode(t *testing.T) {
 
 	// The documents must actually be spread over the three shards — a
 	// routing bug that funnels everything to one node would still pass the
-	// equality checks above.
+	// equality checks above. The BIEX index must spread too: the emm + zmf
+	// kvstore namespaces (written only by BIEX) must hold keys on every
+	// shard, with a bounded max/min ratio. A regression back to namespace
+	// pinning piles everything on one shard and fails both checks. The
+	// ratio threshold is 4, not lower: the corpus has ~70 distinct routing
+	// labels but the 10 enum keywords own most of the cells, and a
+	// consistent-hash split of 10 heavy labels over 3 shards is lumpy.
 	spread := 0
+	biexSpread := 0
+	biexKeys := make([]int, len(addrs))
 	for i, addr := range addrs {
 		conn, err := transport.Dial(addr, transport.DialOptions{})
 		if err != nil {
@@ -263,8 +296,28 @@ func TestShardedTierMatchesSingleNode(t *testing.T) {
 		if st.Collections[schema.Name] > 0 {
 			spread++
 		}
+		biexKeys[i] = st.Namespaces["emm"].Keys + st.Namespaces["zmf"].Keys
+		if biexKeys[i] > 0 {
+			biexSpread++
+		}
 	}
 	if spread < 2 {
 		t.Errorf("documents landed on %d of %d shards — ring routing is not spreading", spread, len(addrs))
+	}
+	if biexSpread < len(addrs) {
+		t.Errorf("BIEX index keys on %d of %d shards (%v) — keyword partitioning is not spreading", biexSpread, len(addrs), biexKeys)
+	} else {
+		lo, hi := biexKeys[0], biexKeys[0]
+		for _, k := range biexKeys[1:] {
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		if ratio := float64(hi) / float64(lo); ratio > 4 {
+			t.Errorf("BIEX index key balance %v: max/min = %.1fx, want <= 4x", biexKeys, ratio)
+		}
 	}
 }
