@@ -10,6 +10,7 @@
 //	blinderbench -experiment concurrency   # fan-out + pipelining speedups
 //	blinderbench -experiment hotpath  # A/B the crypto hot-path caches
 //	blinderbench -experiment sharding # 1/2/4/8-shard cloud-tier scaling
+//	blinderbench -experiment coalesce # write-path group commit A/B
 //	blinderbench -requests 151000 -users 1000   # the paper's full scale
 //
 // Each scenario runs against a fresh in-process cloud node over the
@@ -34,9 +35,10 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | all")
+	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | coalesce | all")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath experiment's JSON result")
 	shardingOut := flag.String("sharding-out", "BENCH_sharding.json", "output path for the sharding experiment's JSON result")
+	coalesceOut := flag.String("coalesce-out", "BENCH_coalesce.json", "output path for the coalesce experiment's JSON result")
 	users := flag.Int("users", 64, "concurrent virtual users (paper: 1000)")
 	requests := flag.Int("requests", 4500, "total requests, split insert/search/aggregate (paper: ~151000)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -49,16 +51,35 @@ func main() {
 		}
 	})
 
-	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut); err != nil {
+	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut, *coalesceOut); err != nil {
 		log.Fatalf("blinderbench: %v", err)
 	}
 }
 
-func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut string) error {
+func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut, coalesceOut string) error {
 	switch experiment {
-	case "fig5", "latency", "concurrency", "hotpath", "sharding", "all":
+	case "fig5", "latency", "concurrency", "hotpath", "sharding", "coalesce", "all":
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, coalesce, or all)", experiment)
+	}
+
+	if experiment == "coalesce" || experiment == "all" {
+		cfg := bench.DefaultCoalesceConfig()
+		cfg.Seed = seed
+		fmt.Fprintf(os.Stderr, "running coalesce experiment (%d shards, %d callers, %d inserts + %d gets per arm)...\n",
+			cfg.Shards, cfg.Callers, cfg.Inserts, cfg.Gets)
+		r, err := bench.RunCoalesce(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatCoalesce(r))
+		if err := bench.WriteCoalesceJSON(r, coalesceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", coalesceOut)
+		if experiment == "coalesce" {
+			return nil
+		}
 	}
 
 	if experiment == "sharding" || experiment == "all" {

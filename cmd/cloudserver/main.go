@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cloudserver -listen 127.0.0.1:7700 [-shards 4] [-data ./cloud-data] [-pprof addr]
+//	cloudserver -listen 127.0.0.1:7700 [-shards 4] [-data ./cloud-data] [-pprof addr] [-max-inflight N]
 //
 // With -data, the key-value index store persists to an append-only file
 // and the document store snapshots to JSON files on shutdown.
@@ -38,6 +38,7 @@ func main() {
 	shards := flag.Int("shards", 1, "number of independent cloud nodes to host (consecutive ports from -listen)")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	maxInFlight := flag.Int("max-inflight", transport.DefaultMaxInFlight, "per-connection cap on concurrently executing RPCs (coalesced gateway batches count as one)")
 	flag.Parse()
 
 	stopPprof, err := pprofserve.Start(*pprofAddr)
@@ -46,7 +47,7 @@ func main() {
 	}
 	defer stopPprof()
 
-	if err := run(*listen, *shards, *dataDir); err != nil {
+	if err := run(*listen, *shards, *dataDir, *maxInFlight); err != nil {
 		log.Fatalf("cloudserver: %v", err)
 	}
 }
@@ -75,7 +76,7 @@ func shardAddrs(listen string, n int) ([]string, error) {
 	return addrs, nil
 }
 
-func run(listen string, shards int, dataDir string) error {
+func run(listen string, shards int, dataDir string, maxInFlight int) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
 	}
@@ -104,6 +105,7 @@ func run(listen string, shards int, dataDir string) error {
 		defer node.Close()
 
 		srv := transport.NewServer(node.Mux)
+		srv.MaxInFlight = maxInFlight
 		addr, err := srv.Listen(shardAddr)
 		if err != nil {
 			return err

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gateway [-cloud 127.0.0.1:7700 | -shard-addrs a:1,b:2,...] [-key master.key] [-state gw.aof] [-pprof addr] <command> [args]
+//	gateway [-cloud 127.0.0.1:7700 | -shard-addrs a:1,b:2,...] [-key master.key] [-state gw.aof] [-pprof addr] [-no-coalesce] <command> [args]
 //
 // Commands:
 //
@@ -49,6 +49,7 @@ func main() {
 	keyPath := flag.String("key", "datablinder-master.key", "master key file (created if absent)")
 	statePath := flag.String("state", "datablinder-gateway.aof", "gateway state file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable cross-caller write coalescing (per-shard group commit)")
 	flag.Parse()
 
 	stopPprof, err := pprofserve.Start(*pprofAddr)
@@ -65,9 +66,10 @@ func main() {
 	defer cancel()
 
 	opts := datablinder.Options{
-		MasterKeyPath:  *keyPath,
-		CreateKey:      true,
-		LocalStatePath: *statePath,
+		MasterKeyPath:     *keyPath,
+		CreateKey:         true,
+		LocalStatePath:    *statePath,
+		DisableCoalescing: *noCoalesce,
 	}
 	if *shardAddrs != "" {
 		for _, addr := range strings.Split(*shardAddrs, ",") {

@@ -37,6 +37,7 @@ import (
 
 	"datablinder/internal/cloud"
 	"datablinder/internal/cloud/ring"
+	"datablinder/internal/coalesce"
 	"datablinder/internal/core"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
@@ -181,6 +182,11 @@ type Options struct {
 	// (0 = ring.DefaultVirtualNodes). All gateways of one deployment must
 	// agree on it.
 	VirtualNodes int
+	// DisableCoalescing routes every cloud RPC individually instead of
+	// merging concurrent callers' sub-calls into per-shard group commits
+	// (see README "Write-path coalescing"). Coalescing is on by default;
+	// disable it only for debugging or A/B benchmarking.
+	DisableCoalescing bool
 
 	// MasterKeyPath loads (or, with CreateKey, creates) the gateway master
 	// key file. Empty means an ephemeral random key.
@@ -308,6 +314,7 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 		Cloud:    client.conn,
 		Local:    local,
 		Registry: registry,
+		Coalesce: coalesce.Options{Disabled: opts.DisableCoalescing},
 	})
 	if err != nil {
 		client.Close()
@@ -331,9 +338,13 @@ func shardConn(conns []transport.Conn, vnodes int) transport.Conn {
 	return ring.NewClient(conns, vnodes)
 }
 
-// Close releases the cloud connection and local state. It is idempotent.
+// Close drains the write coalescers and releases the cloud connection and
+// local state. It is idempotent.
 func (c *Client) Close() error {
 	var first error
+	if c.engine != nil {
+		c.engine.Drain()
+	}
 	if c.conn != nil {
 		if err := c.conn.Close(); err != nil && first == nil {
 			first = err
@@ -360,6 +371,12 @@ func (c *Client) RegisterSchema(ctx context.Context, s *Schema) error {
 
 // Schemas lists the registered schema names.
 func (c *Client) Schemas() []string { return c.engine.Schemas() }
+
+// CoalesceStats reports the write coalescers' aggregated counters —
+// merge rate, flushes by trigger, batch-size histogram (all zero when
+// DisableCoalescing was set). The same numbers are exported process-wide
+// on the -pprof endpoint's /debug/vars as "datablinder_coalesce".
+func (c *Client) CoalesceStats() coalesce.Stats { return c.engine.CoalesceStats() }
 
 // TacticCatalog returns the descriptors of every registered tactic
 // (Table 2 of the paper is generated from this).

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/coalesce"
 	"datablinder/internal/core"
 	"datablinder/internal/fhir"
 	"datablinder/internal/keys"
@@ -143,8 +144,12 @@ func concurrencyEngine(ctx context.Context, cfg ConcurrencyConfig, sequential bo
 		cleanup()
 		return nil, nil, err
 	}
+	// Coalescing off: the experiment compares sequential vs pipelined
+	// engine dispatch under a fixed simulated network delay; merging
+	// frames across callers would change what "one RPC" costs mid-series.
 	engine, err := core.NewEngine(core.Config{
 		Keys: kp, Cloud: conn, Local: local, Registry: registry, Sequential: sequential,
+		Coalesce: coalesce.Options{Disabled: true},
 	})
 	if err != nil {
 		cleanup()

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/coalesce"
 	"datablinder/internal/core"
 	"datablinder/internal/crypto/keycache"
 	"datablinder/internal/crypto/paillier"
@@ -135,8 +136,12 @@ func hotpathEngine(ctx context.Context) (*core.Engine, func(), error) {
 		cleanup()
 		return nil, nil, err
 	}
+	// Coalescing off: this experiment isolates gateway CPU per op, and the
+	// alloc attribution below assumes each op's RPCs happen inline on the
+	// driving goroutine.
 	engine, err := core.NewEngine(core.Config{
 		Keys: kp, Cloud: transport.NewLoopback(node.Mux), Local: local, Registry: registry,
+		Coalesce: coalesce.Options{Disabled: true},
 	})
 	if err != nil {
 		cleanup()

@@ -39,6 +39,7 @@ import (
 
 	"datablinder/internal/cloud"
 	"datablinder/internal/cloud/ring"
+	"datablinder/internal/coalesce"
 	"datablinder/internal/conc"
 	"datablinder/internal/core"
 	"datablinder/internal/fhir"
@@ -165,7 +166,7 @@ func (c *nodeConn) Call(ctx context.Context, service, method string, args, reply
 		// penalizing exactly the deployments that split batches.
 		if service == biextactic.Service && method == "insert" {
 			if a, ok := args.(biextactic.InsertArgs); ok {
-				n := len(a.Entries.Global) + len(a.Entries.Cross) + len(a.Entries.Filter)
+				n := a.Entries.Cells()
 				if n > 1 {
 					cost = time.Duration(n) * c.service
 				}
@@ -262,7 +263,14 @@ func shardingDeployment(ctx context.Context, cfg ShardingConfig, n int) (*core.E
 		fullCleanup()
 		return nil, nil, nil, nil, err
 	}
-	engine, err := core.NewEngine(core.Config{Keys: kp, Cloud: conn, Local: local, Registry: registry})
+	// Coalescing stays off here: nodeConn's capacity model charges per
+	// sub-operation, so merged frames would not change the modeled cost,
+	// and keeping the write path identical to earlier runs keeps the
+	// scaling numbers comparable across revisions.
+	engine, err := core.NewEngine(core.Config{
+		Keys: kp, Cloud: conn, Local: local, Registry: registry,
+		Coalesce: coalesce.Options{Disabled: true},
+	})
 	if err != nil {
 		fullCleanup()
 		return nil, nil, nil, nil, err

@@ -99,6 +99,19 @@ func New(conns []transport.Conn, vnodes int) *Ring {
 // N returns the number of shards.
 func (r *Ring) N() int { return len(r.conns) }
 
+// WithConns returns a ring with identical placement (the point array is
+// shared, so key→shard assignment and the virtual-node count are exactly
+// preserved) but every connection replaced by wrap(shard, conn). It exists
+// to interpose per-shard middleware — the gateway's write coalescer —
+// without re-deriving placement, which the secure indexes depend on.
+func (r *Ring) WithConns(wrap func(shard int, conn transport.Conn) transport.Conn) *Ring {
+	conns := make([]transport.Conn, len(r.conns))
+	for i, c := range r.conns {
+		conns[i] = wrap(i, c)
+	}
+	return &Ring{conns: conns, points: r.points}
+}
+
 // Shard returns the shard index owning key: the first point clockwise of
 // the key's hash.
 func (r *Ring) Shard(key string) int {
@@ -222,6 +235,10 @@ type Client struct {
 func NewClient(conns []transport.Conn, vnodes int) *Client {
 	return &Client{ring: New(conns, vnodes)}
 }
+
+// ClientOf wraps an existing ring (typically one rebuilt by WithConns) as
+// a sharded connection.
+func ClientOf(r *Ring) *Client { return &Client{ring: r} }
 
 // Ring exposes the routing view (the Of hook).
 func (c *Client) Ring() *Ring { return c.ring }

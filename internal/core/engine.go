@@ -23,6 +23,7 @@ import (
 
 	"datablinder/internal/cloud"
 	"datablinder/internal/cloud/ring"
+	"datablinder/internal/coalesce"
 	"datablinder/internal/conc"
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
@@ -59,16 +60,23 @@ type Config struct {
 	// before the concurrent engine. It exists as the benchmark/debug
 	// baseline; production configurations leave it false.
 	Sequential bool
+	// Coalesce configures the per-shard group-commit stage wrapped around
+	// every cloud connection (see internal/coalesce). The zero value
+	// enables coalescing with defaults; set Coalesce.Disabled to route
+	// every RPC individually — the pre-coalescing behavior, kept as the
+	// benchmark baseline.
+	Coalesce coalesce.Options
 }
 
 // Engine is the gateway-side middleware core.
 type Engine struct {
-	keys     keys.Provider
-	cloud    transport.Conn
-	shards   *ring.Ring // routing view of cloud: 1 shard unless cloud fronts a ring
-	local    *kvstore.Store
-	registry *spi.Registry
-	seq      bool
+	keys       keys.Provider
+	cloud      transport.Conn
+	shards     *ring.Ring // routing view of cloud: 1 shard unless cloud fronts a ring
+	coalescers []*coalesce.Conn
+	local      *kvstore.Store
+	registry   *spi.Registry
+	seq        bool
 
 	mu      sync.RWMutex
 	schemas map[string]*schemaRuntime
@@ -87,20 +95,60 @@ type schemaRuntime struct {
 	docMu sync.Mutex
 }
 
-// NewEngine validates cfg and builds an engine.
+// NewEngine validates cfg and builds an engine. Unless disabled, every
+// shard connection is wrapped in a write coalescer: the wrapping preserves
+// ring placement exactly (same points, same virtual-node count), so
+// key→shard assignment — which the secure indexes depend on — is untouched.
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Keys == nil || cfg.Cloud == nil || cfg.Local == nil || cfg.Registry == nil {
 		return nil, errors.New("core: Config requires Keys, Cloud, Local and Registry")
 	}
+	cloudConn := cfg.Cloud
+	var coals []*coalesce.Conn
+	if !cfg.Coalesce.Disabled {
+		wrapped := ring.Of(cfg.Cloud).WithConns(func(_ int, conn transport.Conn) transport.Conn {
+			cc := coalesce.New(conn, cfg.Coalesce)
+			coals = append(coals, cc)
+			return cc
+		})
+		if wrapped.N() == 1 {
+			cloudConn = wrapped.Conn(0)
+		} else {
+			cloudConn = ring.ClientOf(wrapped)
+		}
+	}
 	return &Engine{
-		keys:     cfg.Keys,
-		cloud:    cfg.Cloud,
-		shards:   ring.Of(cfg.Cloud),
-		local:    cfg.Local,
-		registry: cfg.Registry,
-		seq:      cfg.Sequential,
-		schemas:  make(map[string]*schemaRuntime),
+		keys:       cfg.Keys,
+		cloud:      cloudConn,
+		shards:     ring.Of(cloudConn),
+		coalescers: coals,
+		local:      cfg.Local,
+		registry:   cfg.Registry,
+		seq:        cfg.Sequential,
+		schemas:    make(map[string]*schemaRuntime),
 	}, nil
+}
+
+// Drain flushes every per-shard write coalescer, blocking until the
+// in-flight batches complete. Call it before tearing down the cloud
+// connections so no queued write is dropped between "call returned" and
+// "process exited". (Callers of engine operations have already received
+// their results by the time their sub-calls completed; Drain only covers
+// entries abandoned by cancelled callers.)
+func (e *Engine) Drain() {
+	for _, c := range e.coalescers {
+		c.Drain()
+	}
+}
+
+// CoalesceStats aggregates the per-shard write coalescers' counters
+// (zero-valued when coalescing is disabled).
+func (e *Engine) CoalesceStats() coalesce.Stats {
+	var out coalesce.Stats
+	for _, c := range e.coalescers {
+		out.Merge(c.Stats())
+	}
+	return out
 }
 
 // Registry exposes the tactic catalog (for tooling such as Table 2

@@ -291,10 +291,96 @@ func bucketKeyword(w string, b uint64) string {
 }
 
 // Entries is the batch of server updates produced by one client operation.
+// Cross pair cells ship packed (CrossPacked); the per-cell Cross form is
+// retained for wire compatibility with writers that predate packing.
 type Entries struct {
-	Global []emm.Entry       `json:"global,omitempty"`
-	Cross  []emm.Entry       `json:"cross,omitempty"`
-	Filter []zmf.UpdateEntry `json:"filter,omitempty"`
+	Global      []emm.Entry       `json:"global,omitempty"`
+	Cross       []emm.Entry       `json:"cross,omitempty"`
+	CrossPacked []PackedEntry     `json:"cross_packed,omitempty"`
+	Filter      []zmf.UpdateEntry `json:"filter,omitempty"`
+}
+
+// Cells counts the index cells the batch carries, counting packed entries
+// by their contents — the unit a node's multimap insert work scales with,
+// regardless of how the cells were framed.
+func (e Entries) Cells() int {
+	n := len(e.Global) + len(e.Cross) + len(e.Filter)
+	for _, p := range e.CrossPacked {
+		n += p.Count
+	}
+	return n
+}
+
+// WireEntries counts the top-level entries the batch serializes — the
+// framing the packed form compresses: a k-keyword document's O(k²) pair
+// cells collapse into O(1) packed entries per shard.
+func (e Entries) WireEntries() int {
+	return len(e.Global) + len(e.Cross) + len(e.CrossPacked) + len(e.Filter)
+}
+
+// PackedEntry ships n same-shaped multimap cells as two concatenated
+// blobs. BIEX pair cells are uniform — PRF-sized addresses and, within one
+// document insert, equal-length sealed values — so the O(k²) cells of a
+// k-keyword document pack into a single entry per shard, replacing O(k²)
+// per-cell JSON envelopes (two base64 fields and their keys per cell) with
+// O(k²) bytes in two blobs.
+type PackedEntry struct {
+	Count   int    `json:"n"`
+	AddrLen int    `json:"alen"`
+	ValLen  int    `json:"vlen"`
+	Addrs   []byte `json:"addrs"`
+	Vals    []byte `json:"vals"`
+}
+
+// PackEntries groups cells by (address length, value length) shape,
+// preserving first-seen group order and cell order within each group.
+func PackEntries(cells []emm.Entry) []PackedEntry {
+	if len(cells) == 0 {
+		return nil
+	}
+	idx := make(map[[2]int]int)
+	out := make([]PackedEntry, 0, 1)
+	for _, e := range cells {
+		k := [2]int{len(e.Addr), len(e.Val)}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, PackedEntry{AddrLen: k[0], ValLen: k[1]})
+		}
+		p := &out[i]
+		p.Count++
+		p.Addrs = append(p.Addrs, e.Addr...)
+		p.Vals = append(p.Vals, e.Val...)
+	}
+	return out
+}
+
+// UnpackEntries expands packed entries back into individual cells,
+// validating blob lengths against the declared shape.
+func UnpackEntries(packed []PackedEntry) ([]emm.Entry, error) {
+	var total int
+	for _, p := range packed {
+		if p.Count < 0 || p.AddrLen <= 0 || p.ValLen <= 0 ||
+			len(p.Addrs) != p.Count*p.AddrLen || len(p.Vals) != p.Count*p.ValLen {
+			return nil, fmt.Errorf("biex: malformed packed entry (n=%d alen=%d vlen=%d addrs=%d vals=%d)",
+				p.Count, p.AddrLen, p.ValLen, len(p.Addrs), len(p.Vals))
+		}
+		total += p.Count
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	out := make([]emm.Entry, 0, total)
+	for _, p := range packed {
+		for i := 0; i < p.Count; i++ {
+			out = append(out, emm.Entry{
+				Addr: p.Addrs[i*p.AddrLen : (i+1)*p.AddrLen : (i+1)*p.AddrLen],
+				Val:  p.Vals[i*p.ValLen : (i+1)*p.ValLen : (i+1)*p.ValLen],
+			})
+		}
+	}
+	return out, nil
 }
 
 // ShardFunc maps a routing label to the index of the shard owning it.
@@ -432,19 +518,25 @@ func (c *Client) Insert(namespace, id string, keywords []string, shardOf ShardFu
 	}
 	switch c.variant {
 	case Variant2Lev:
+		// Pair cells accumulate per shard and ship packed: one counter
+		// bump per pair, a replica on both member keywords' shards, but
+		// O(1) wire entries per shard instead of one per cell.
+		perShard := make(map[int][]emm.Entry)
 		for i := 0; i < len(uniq); i++ {
 			for j := i + 1; j < len(uniq); j++ {
 				e, err := c.cross.Append(namespace, pairKeyword(uniq[i], uniq[j]), vid)
 				if err != nil {
 					return nil, err
 				}
-				gi := grp(shard[i])
-				gi.Cross = append(gi.Cross, e)
+				perShard[shard[i]] = append(perShard[shard[i]], e)
 				if shard[j] != shard[i] {
-					gj := grp(shard[j])
-					gj.Cross = append(gj.Cross, e)
+					perShard[shard[j]] = append(perShard[shard[j]], e)
 				}
 			}
+		}
+		for s, cells := range perShard {
+			g := grp(s)
+			g.CrossPacked = PackEntries(cells)
 		}
 	case VariantZMF:
 		for i, w := range uniq {
@@ -658,13 +750,22 @@ func (s *Server) RepackGlobal(stale [][]byte, entries []emm.Entry) error {
 	return s.global.Insert(entries)
 }
 
-// Insert applies a client update batch.
+// Insert applies a client update batch, expanding packed pair cells.
 func (s *Server) Insert(e Entries) error {
 	if err := s.global.Insert(e.Global); err != nil {
 		return err
 	}
 	if err := s.cross.Insert(e.Cross); err != nil {
 		return err
+	}
+	if len(e.CrossPacked) > 0 {
+		cells, err := UnpackEntries(e.CrossPacked)
+		if err != nil {
+			return err
+		}
+		if err := s.cross.Insert(cells); err != nil {
+			return err
+		}
 	}
 	return s.filters.Apply(e.Filter)
 }

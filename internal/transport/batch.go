@@ -68,16 +68,42 @@ func (m *Mux) execBatch(ctx context.Context, payload json.RawMessage) (any, erro
 	return out, nil
 }
 
-// CallBatch executes calls as one round trip over conn and returns one
-// result per call, in order. The connection's peer mux always supports it
-// (the batch executor is built into every Mux). Transport-level failures
-// return a non-nil error; per-call handler failures are reported in the
-// corresponding BatchResult only.
+// BatchCaller is implemented by connections that coalesce batch sub-calls
+// themselves (the gateway's per-shard write coalescer). CallBatch hands
+// such a connection the call list directly, so a caller-built batch merges
+// into the shared group commit instead of framing its own _batch.exec.
+type BatchCaller interface {
+	CallBatch(ctx context.Context, calls []BatchCall) ([]BatchResult, error)
+}
+
+// maxBatchChunkBytes caps the estimated encoded size of the sub-requests
+// shipped in one _batch.exec frame. It leaves headroom under maxPooledBuf
+// (64 KiB) for the outer request envelope, so a coalesced mega-batch keeps
+// reusing pooled frame buffers instead of allocating past the pool cap.
+// A single sub-call larger than the cap still ships (in a chunk of its
+// own); only that frame's buffer escapes the pool, as it always has.
+const maxBatchChunkBytes = 56 << 10
+
+// subRequestOverhead approximates one sub-request's JSON envelope (id,
+// service/method keys, quoting) for the chunk-size estimate.
+const subRequestOverhead = 56
+
+// CallBatch executes calls over conn and returns one result per call, in
+// order. The connection's peer mux always supports it (the batch executor
+// is built into every Mux). Batches whose encoded sub-requests would
+// exceed the frame-buffer pool cap split into several sequential frames —
+// still in order, so per-document index-update ordering is preserved.
+// Transport-level failures return a non-nil error; per-call handler
+// failures are reported in the corresponding BatchResult only.
 func CallBatch(ctx context.Context, conn Conn, calls []BatchCall) ([]BatchResult, error) {
 	if len(calls) == 0 {
 		return nil, nil
 	}
+	if bc, ok := conn.(BatchCaller); ok {
+		return bc.CallBatch(ctx, calls)
+	}
 	subs := make([]request, len(calls))
+	sizes := make([]int, len(calls))
 	for i, call := range calls {
 		var payload json.RawMessage
 		if call.Args != nil {
@@ -88,21 +114,31 @@ func CallBatch(ctx context.Context, conn Conn, calls []BatchCall) ([]BatchResult
 			payload = b
 		}
 		subs[i] = request{ID: uint64(i), Service: call.Service, Method: call.Method, Payload: payload}
-	}
-	var replies []response
-	if err := conn.Call(ctx, BatchService, BatchMethod, subs, &replies); err != nil {
-		return nil, err
-	}
-	if len(replies) != len(calls) {
-		return nil, fmt.Errorf("transport: batch returned %d results for %d calls", len(replies), len(calls))
+		sizes[i] = len(payload) + len(call.Service) + len(call.Method) + subRequestOverhead
 	}
 	out := make([]BatchResult, len(calls))
-	for i, r := range replies {
-		if !r.OK {
-			out[i] = BatchResult{Err: &RemoteError{Code: r.Code, Msg: r.Error}}
-			continue
+	for start := 0; start < len(subs); {
+		end := start + 1
+		bytes := sizes[start]
+		for end < len(subs) && bytes+sizes[end] <= maxBatchChunkBytes {
+			bytes += sizes[end]
+			end++
 		}
-		out[i] = BatchResult{Payload: r.Payload}
+		var replies []response
+		if err := conn.Call(ctx, BatchService, BatchMethod, subs[start:end], &replies); err != nil {
+			return nil, err
+		}
+		if len(replies) != end-start {
+			return nil, fmt.Errorf("transport: batch returned %d results for %d calls", len(replies), end-start)
+		}
+		for i, r := range replies {
+			if !r.OK {
+				out[start+i] = BatchResult{Err: &RemoteError{Code: r.Code, Msg: r.Error}}
+				continue
+			}
+			out[start+i] = BatchResult{Payload: r.Payload}
+		}
+		start = end
 	}
 	return out, nil
 }
