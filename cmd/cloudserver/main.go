@@ -39,6 +39,7 @@ func main() {
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	maxInFlight := flag.Int("max-inflight", transport.DefaultMaxInFlight, "per-connection cap on concurrently executing RPCs (coalesced gateway batches count as one)")
+	wireJSON := flag.Bool("wire-json", false, "answer codec negotiation with v1: every connection stays on JSON framing")
 	flag.Parse()
 
 	stopPprof, err := pprofserve.Start(*pprofAddr)
@@ -47,7 +48,7 @@ func main() {
 	}
 	defer stopPprof()
 
-	if err := run(*listen, *shards, *dataDir, *maxInFlight); err != nil {
+	if err := run(*listen, *shards, *dataDir, *maxInFlight, *wireJSON); err != nil {
 		log.Fatalf("cloudserver: %v", err)
 	}
 }
@@ -76,7 +77,7 @@ func shardAddrs(listen string, n int) ([]string, error) {
 	return addrs, nil
 }
 
-func run(listen string, shards int, dataDir string, maxInFlight int) error {
+func run(listen string, shards int, dataDir string, maxInFlight int, wireJSON bool) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
 	}
@@ -106,6 +107,7 @@ func run(listen string, shards int, dataDir string, maxInFlight int) error {
 
 		srv := transport.NewServer(node.Mux)
 		srv.MaxInFlight = maxInFlight
+		srv.DisableBinary = wireJSON
 		addr, err := srv.Listen(shardAddr)
 		if err != nil {
 			return err

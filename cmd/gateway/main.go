@@ -50,6 +50,7 @@ func main() {
 	statePath := flag.String("state", "datablinder-gateway.aof", "gateway state file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable cross-caller write coalescing (per-shard group commit)")
+	wireJSON := flag.Bool("wire-json", false, "pin the cloud channel to v1 JSON framing instead of negotiating the binary wire codec")
 	flag.Parse()
 
 	stopPprof, err := pprofserve.Start(*pprofAddr)
@@ -70,6 +71,7 @@ func main() {
 		CreateKey:         true,
 		LocalStatePath:    *statePath,
 		DisableCoalescing: *noCoalesce,
+		DisableBinaryWire: *wireJSON,
 	}
 	if *shardAddrs != "" {
 		for _, addr := range strings.Split(*shardAddrs, ",") {

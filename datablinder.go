@@ -187,6 +187,12 @@ type Options struct {
 	// (see README "Write-path coalescing"). Coalescing is on by default;
 	// disable it only for debugging or A/B benchmarking.
 	DisableCoalescing bool
+	// DisableBinaryWire pins the gateway↔cloud channel to the v1 JSON
+	// framing instead of negotiating the binary wire codec (see README
+	// "Wire protocol"). Binary is on by default; disable it only for
+	// debugging or A/B benchmarking — servers that lack v2 fall back to
+	// JSON automatically, no pinning needed.
+	DisableBinaryWire bool
 
 	// MasterKeyPath loads (or, with CreateKey, creates) the gateway master
 	// key file. Empty means an ephemeral random key.
@@ -281,7 +287,11 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 				return nil, err
 			}
 			client.nodes = append(client.nodes, node)
-			conns = append(conns, transport.NewLoopback(node.Mux))
+			if opts.DisableBinaryWire {
+				conns = append(conns, transport.NewLoopbackJSON(node.Mux))
+			} else {
+				conns = append(conns, transport.NewLoopback(node.Mux))
+			}
 		}
 		client.conn = shardConn(conns, opts.VirtualNodes)
 	} else {
@@ -291,7 +301,10 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 		}
 		conns := make([]transport.Conn, 0, len(addrs))
 		for _, addr := range addrs {
-			conn, err := transport.Dial(addr, transport.DialOptions{PoolSize: opts.PoolSize})
+			conn, err := transport.Dial(addr, transport.DialOptions{
+				PoolSize:      opts.PoolSize,
+				DisableBinary: opts.DisableBinaryWire,
+			})
 			if err != nil {
 				for _, c := range conns {
 					c.Close()

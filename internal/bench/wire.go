@@ -1,0 +1,510 @@
+// Wire experiment: A/B-measures the binary wire codec (v2) against the v1
+// JSON framing on the gateway↔cloud channel, over real TCP shards — the
+// "base64 tax" the codec exists to remove. Both arms run the identical
+// deployment (3 cloud nodes behind real TCP servers, the production ring
+// client and coalescer in front); the only difference is the client
+// pinning its connections to v1 JSON framing via DialOptions.
+//
+// Two measured phases per arm, at 1 caller (clean per-op costs) and at
+// Callers concurrent callers (the contended regime):
+//
+//	insert     — full engine.Insert over a DET + Mitra + RND schema: the
+//	             doc.put record plus three index writes per document, all
+//	             ciphertext-heavy payloads that v1 ships base64-inflated
+//	sse-search — engine.SearchIDs equality over the Mitra SSE index,
+//	             a scatter query whose token and posting-list traffic
+//	             crosses every shard
+//
+// Per phase the experiment reports throughput, wire bytes per operation
+// (from the transport's datablinder_wire counters — both directions and
+// both ends, since client and servers share the process; the A/B ratio is
+// what matters), and heap allocations per operation (runtime Mallocs
+// delta across the phase, again both ends — JSON's reflection, map, and
+// base64 churn versus the codec's append/subslice discipline). The
+// schema is deliberately crypto-light (HMAC/AES tactics only, no OPE or
+// Paillier) so codec cost is the dominant non-workload term rather than
+// being drowned in public-key arithmetic identical across arms.
+
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"datablinder/internal/cloud"
+	"datablinder/internal/cloud/ring"
+	"datablinder/internal/core"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics"
+	"datablinder/internal/tactics/mitra"
+	"datablinder/internal/transport"
+)
+
+// WireConfig parameterizes the wire-codec experiment.
+type WireConfig struct {
+	// Shards is the TCP cloud tier size.
+	Shards int
+	// Docs documents are inserted per phase run.
+	Docs int
+	// Searches SSE equality queries are issued per phase run.
+	Searches int
+	// CallerCounts lists the concurrency levels to measure, in order.
+	CallerCounts []int
+	// BodyBytes sizes each document's opaque body field — the ciphertext
+	// bulk the base64 tax scales with.
+	BodyBytes int
+	// Seed fixes the synthetic population and the query draw.
+	Seed int64
+}
+
+// DefaultWireConfig returns a laptop-scale configuration: enough volume
+// for stable per-op byte and allocation counts, seconds to run.
+func DefaultWireConfig() WireConfig {
+	return WireConfig{
+		Shards: 3, Docs: 240, Searches: 480,
+		CallerCounts: []int{1, 16}, BodyBytes: 240, Seed: 1,
+	}
+}
+
+// WireRun is one (codec, caller-count) cell's measurement.
+type WireRun struct {
+	Codec   string `json:"codec"` // "json" or "binary"
+	Callers int    `json:"callers"`
+
+	InsertOps         int     `json:"insert_ops"`
+	InsertThroughput  float64 `json:"insert_throughput_per_s"`
+	InsertBytesPerOp  float64 `json:"insert_wire_bytes_per_op"`
+	InsertAllocsPerOp float64 `json:"insert_allocs_per_op"`
+
+	SearchOps         int     `json:"search_ops"`
+	SearchThroughput  float64 `json:"search_throughput_per_s"`
+	SearchBytesPerOp  float64 `json:"search_wire_bytes_per_op"`
+	SearchAllocsPerOp float64 `json:"search_allocs_per_op"`
+}
+
+// WireRPCRun is one codec's per-RPC cost on a single hot method, measured
+// at the transport boundary: one client, one TCP server, the same args
+// every call. Engine work (crypto, planning, coalescing) is out of the
+// loop, so the allocation delta between codecs is the codec's own —
+// JSON's reflection/map/base64 churn versus the binary append/subslice
+// path — rather than being diluted by workload allocations identical
+// across arms.
+type WireRPCRun struct {
+	Codec       string  `json:"codec"`
+	Method      string  `json:"method"` // "doc.put" or "mitra.search"
+	Ops         int     `json:"ops"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"wire_bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// WireResult carries every cell plus the headline reductions. Byte
+// reductions come from the single-caller end-to-end cells (wire bytes are
+// exact either way and the end-to-end number includes batch framing);
+// allocation reductions come from the transport-boundary RPC runs, where
+// the counter isolates what the codec itself allocates.
+type WireResult struct {
+	Runs    []WireRun    `json:"runs"`
+	RPCRuns []WireRPCRun `json:"rpc_runs"`
+	// *Reduction fields are fractional savings of binary over JSON
+	// (0.42 = binary uses 42% fewer than JSON).
+	InsertBytesReduction  float64    `json:"insert_bytes_reduction"`
+	InsertAllocsReduction float64    `json:"insert_allocs_reduction"`
+	SearchBytesReduction  float64    `json:"search_bytes_reduction"`
+	SearchAllocsReduction float64    `json:"search_allocs_reduction"`
+	Config                WireConfig `json:"config"`
+	// Meta is stamped by WriteWireJSON.
+	Meta Meta `json:"meta"`
+}
+
+// wireSchema is the crypto-light schema described in the package comment:
+// DET point equality, Mitra SSE equality (the measured search class), and
+// an RND-encrypted opaque body carrying the ciphertext bulk.
+func wireSchema() *model.Schema {
+	must := func(s string) model.Annotation {
+		a, err := model.ParseAnnotation(s)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	return &model.Schema{
+		Name: "wirebench",
+		Fields: []model.Field{
+			{Name: "identifier", Type: model.TypeString},
+			{Name: "status", Type: model.TypeString, Sensitive: true, Annotation: must("C5, op [I, EQ], tactic [DET]")},
+			{Name: "subject", Type: model.TypeString, Sensitive: true, Annotation: must("C2, op [I, EQ], tactic [Mitra]")},
+			{Name: "body", Type: model.TypeString, Sensitive: true, Annotation: must("C1, op [I, EQ], tactic [RND]")},
+		},
+	}
+}
+
+// wireDocs materializes the deterministic population outside the timed
+// region: ~30 distinct subjects (the SSE search targets), bodies of
+// BodyBytes printable characters.
+func wireDocs(cfg WireConfig) []*model.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	statuses := []string{"final", "preliminary", "amended", "draft"}
+	docs := make([]*model.Document, cfg.Docs)
+	for i := range docs {
+		var b strings.Builder
+		b.Grow(cfg.BodyBytes)
+		for j := 0; j < cfg.BodyBytes; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		docs[i] = &model.Document{
+			ID: fmt.Sprintf("wdoc-%04d", i),
+			Fields: map[string]any{
+				"identifier": fmt.Sprintf("obs-%04d", i),
+				"status":     statuses[i%len(statuses)],
+				"subject":    fmt.Sprintf("patient-%02d", i%30),
+				"body":       b.String(),
+			},
+		}
+	}
+	return docs
+}
+
+// wireDeployment assembles the tier: Shards real cloud nodes behind TCP
+// servers, dialed with the codec either negotiated (binary arm) or pinned
+// to v1 (json arm), fronted by the production ring client and an engine
+// at default coalescing.
+func wireDeployment(cfg WireConfig, jsonArm bool) (*core.Engine, func(), error) {
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	conns := make([]transport.Conn, 0, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		node, err := cloud.NewNode(cloud.Options{})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { node.Close() })
+		srv := transport.NewServer(node.Mux)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { srv.Close() })
+		conn, err := transport.Dial(addr, transport.DialOptions{DisableBinary: jsonArm})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		closers = append(closers, func() { conn.Close() })
+		conns = append(conns, conn)
+	}
+	var conn transport.Conn = conns[0]
+	if cfg.Shards > 1 {
+		conn = ring.NewClient(conns, 0)
+	}
+	kp, err := keys.NewRandomStore()
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	local := kvstore.New()
+	closers = append(closers, func() { local.Close() })
+	registry, err := tactics.Registry()
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	engine, err := core.NewEngine(core.Config{
+		Keys: kp, Cloud: conn, Local: local, Registry: registry,
+	})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	if err := engine.RegisterSchema(context.Background(), wireSchema()); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return engine, cleanup, nil
+}
+
+// wirePhase times total ops at the given concurrency and captures the
+// wire-byte and allocation deltas around it. The engine is drained before
+// both snapshots so async coalescer flushes land inside the window.
+func wirePhase(engine *core.Engine, callers, total int, op func(i int) error) (elapsed time.Duration, bytes uint64, allocs uint64, err error) {
+	engine.Drain()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	w0 := transport.WireStats()
+
+	t0 := time.Now()
+	errs := make([]error, callers)
+	done := make(chan int, callers)
+	for w := 0; w < callers; w++ {
+		go func(w int) {
+			for i := w; i < total; i += callers {
+				if e := op(i); e != nil {
+					errs[w] = e
+					break
+				}
+			}
+			done <- w
+		}(w)
+	}
+	for w := 0; w < callers; w++ {
+		<-done
+	}
+	engine.Drain()
+	elapsed = time.Since(t0)
+
+	w1 := transport.WireStats()
+	runtime.ReadMemStats(&m1)
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, 0, e
+		}
+	}
+	return elapsed, w1.TotalBytes() - w0.TotalBytes(), m1.Mallocs - m0.Mallocs, nil
+}
+
+// runWireCell measures one (codec, caller-count) cell on a fresh tier.
+func runWireCell(cfg WireConfig, jsonArm bool, callers int) (WireRun, error) {
+	codec := "binary"
+	if jsonArm {
+		codec = "json"
+	}
+	run := WireRun{Codec: codec, Callers: callers}
+	engine, cleanup, err := wireDeployment(cfg, jsonArm)
+	if err != nil {
+		return run, err
+	}
+	defer cleanup()
+
+	ctx := context.Background()
+	schema := wireSchema().Name
+	docs := wireDocs(cfg)
+
+	elapsed, bytes, allocs, err := wirePhase(engine, callers, len(docs), func(i int) error {
+		_, err := engine.Insert(ctx, schema, docs[i])
+		return err
+	})
+	if err != nil {
+		return run, fmt.Errorf("bench: wire %s/%d insert: %w", codec, callers, err)
+	}
+	run.InsertOps = len(docs)
+	if elapsed > 0 {
+		run.InsertThroughput = float64(run.InsertOps) / elapsed.Seconds()
+	}
+	run.InsertBytesPerOp = float64(bytes) / float64(run.InsertOps)
+	run.InsertAllocsPerOp = float64(allocs) / float64(run.InsertOps)
+
+	queries := make([]core.Predicate, cfg.Searches)
+	for i := range queries {
+		queries[i] = core.Eq{Field: "subject", Value: fmt.Sprintf("patient-%02d", i%30)}
+	}
+	elapsed, bytes, allocs, err = wirePhase(engine, callers, len(queries), func(i int) error {
+		_, err := engine.SearchIDs(ctx, schema, queries[i])
+		return err
+	})
+	if err != nil {
+		return run, fmt.Errorf("bench: wire %s/%d search: %w", codec, callers, err)
+	}
+	run.SearchOps = len(queries)
+	if elapsed > 0 {
+		run.SearchThroughput = float64(run.SearchOps) / elapsed.Seconds()
+	}
+	run.SearchBytesPerOp = float64(bytes) / float64(run.SearchOps)
+	run.SearchAllocsPerOp = float64(allocs) / float64(run.SearchOps)
+	return run, nil
+}
+
+// measureWireRPCs measures one codec's per-RPC cost on the two hot
+// methods over a single real TCP connection: doc.put carrying a
+// BodyBytes-scale ciphertext blob (the insert record write) and
+// mitra.search carrying a 24-address SSE token. Allocations are the
+// process-wide Mallocs delta across the loop — client and server share
+// the process, so both ends' codec work is billed, and nothing else runs.
+func measureWireRPCs(cfg WireConfig, jsonArm bool) ([]WireRPCRun, error) {
+	codec := "binary"
+	if jsonArm {
+		codec = "json"
+	}
+	node, err := cloud.NewNode(cloud.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+	srv := transport.NewServer(node.Mux)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	conn, err := transport.Dial(addr, transport.DialOptions{PoolSize: 1, DisableBinary: jsonArm})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	blob := make([]byte, cfg.BodyBytes+160) // body ciphertext + record envelope scale
+	rng.Read(blob)
+	token := make([][]byte, 24)
+	for i := range token {
+		token[i] = make([]byte, 32)
+		rng.Read(token[i])
+	}
+
+	const ops = 1500
+	var runs []WireRPCRun
+	for _, m := range []struct {
+		method string
+		call   func(i int) error
+	}{
+		{"doc.put", func(i int) error {
+			return conn.Call(ctx, cloud.DocService, "put",
+				cloud.DocPutArgs{Collection: "wirebench", ID: fmt.Sprintf("rpc-%03d", i%64), Blob: blob}, nil)
+		}},
+		{"mitra.search", func(i int) error {
+			var reply mitra.SearchReply
+			return conn.Call(ctx, mitra.Service, "search",
+				mitra.SearchArgs{Schema: "wirebench", Addrs: token}, &reply)
+		}},
+	} {
+		for i := 0; i < 50; i++ { // warm pools and lazy paths
+			if err := m.call(i); err != nil {
+				return nil, fmt.Errorf("bench: wire rpc %s/%s warmup: %w", codec, m.method, err)
+			}
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		w0 := transport.WireStats()
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := m.call(i); err != nil {
+				return nil, fmt.Errorf("bench: wire rpc %s/%s: %w", codec, m.method, err)
+			}
+		}
+		elapsed := time.Since(t0)
+		w1 := transport.WireStats()
+		runtime.ReadMemStats(&m1)
+		runs = append(runs, WireRPCRun{
+			Codec: codec, Method: m.method, Ops: ops,
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / ops,
+			BytesPerOp:  float64(w1.TotalBytes()-w0.TotalBytes()) / ops,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / ops,
+		})
+	}
+	return runs, nil
+}
+
+// RunWire measures every cell (json and binary at each caller count) and
+// derives the headline reductions from the single-caller cells.
+func RunWire(ctx context.Context, cfg WireConfig) (WireResult, error) {
+	_ = ctx
+	if cfg.Shards < 1 || cfg.Docs <= 0 || cfg.Searches <= 0 || len(cfg.CallerCounts) == 0 {
+		return WireResult{}, fmt.Errorf("bench: wire config must be positive")
+	}
+	r := WireResult{Config: cfg}
+	cells := make(map[string]WireRun)
+	for _, jsonArm := range []bool{true, false} {
+		for _, callers := range cfg.CallerCounts {
+			if callers < 1 {
+				return WireResult{}, fmt.Errorf("bench: caller count must be >= 1 (got %d)", callers)
+			}
+			codec := "binary"
+			if jsonArm {
+				codec = "json"
+			}
+			fmt.Fprintf(os.Stderr, "  %s codec, %d caller(s)...\n", codec, callers)
+			run, err := runWireCell(cfg, jsonArm, callers)
+			if err != nil {
+				return WireResult{}, err
+			}
+			r.Runs = append(r.Runs, run)
+			cells[fmt.Sprintf("%s/%d", codec, callers)] = run
+		}
+	}
+	for _, jsonArm := range []bool{true, false} {
+		codec := "binary"
+		if jsonArm {
+			codec = "json"
+		}
+		fmt.Fprintf(os.Stderr, "  %s codec, per-RPC transport-boundary runs...\n", codec)
+		rpcRuns, err := measureWireRPCs(cfg, jsonArm)
+		if err != nil {
+			return WireResult{}, err
+		}
+		r.RPCRuns = append(r.RPCRuns, rpcRuns...)
+	}
+
+	reduction := func(json, bin float64) float64 {
+		if json <= 0 {
+			return 0
+		}
+		return 1 - bin/json
+	}
+	base := cfg.CallerCounts[0]
+	j, jok := cells[fmt.Sprintf("json/%d", base)]
+	b, bok := cells[fmt.Sprintf("binary/%d", base)]
+	if jok && bok {
+		r.InsertBytesReduction = reduction(j.InsertBytesPerOp, b.InsertBytesPerOp)
+		r.SearchBytesReduction = reduction(j.SearchBytesPerOp, b.SearchBytesPerOp)
+	}
+	rpc := make(map[string]WireRPCRun)
+	for _, run := range r.RPCRuns {
+		rpc[run.Codec+"/"+run.Method] = run
+	}
+	r.InsertAllocsReduction = reduction(rpc["json/doc.put"].AllocsPerOp, rpc["binary/doc.put"].AllocsPerOp)
+	r.SearchAllocsReduction = reduction(rpc["json/mitra.search"].AllocsPerOp, rpc["binary/mitra.search"].AllocsPerOp)
+	return r, nil
+}
+
+// WriteWireJSON stamps provenance and persists the result.
+func WriteWireJSON(r WireResult, path string) error {
+	r.Meta = CollectMeta()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatWire renders the A/B grid plus the headline reductions.
+func FormatWire(r WireResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wire codec experiment (%d TCP shards, %d inserts + %d SSE searches per cell, body %dB)\n\n",
+		r.Config.Shards, r.Config.Docs, r.Config.Searches, r.Config.BodyBytes)
+	fmt.Fprintf(&b, "%8s %8s %12s %14s %14s %12s %14s %14s\n",
+		"codec", "callers", "insert/s", "ins B/op", "ins allocs/op", "search/s", "srch B/op", "srch allocs/op")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "%8s %8d %12.1f %14.1f %14.1f %12.1f %14.1f %14.1f\n",
+			run.Codec, run.Callers,
+			run.InsertThroughput, run.InsertBytesPerOp, run.InsertAllocsPerOp,
+			run.SearchThroughput, run.SearchBytesPerOp, run.SearchAllocsPerOp)
+	}
+	fmt.Fprintf(&b, "\nper-RPC transport-boundary runs (one connection, fixed args):\n")
+	fmt.Fprintf(&b, "%8s %14s %12s %14s %12s\n", "codec", "method", "allocs/op", "wire B/op", "ns/op")
+	for _, run := range r.RPCRuns {
+		fmt.Fprintf(&b, "%8s %14s %12.1f %14.1f %12.1f\n",
+			run.Codec, run.Method, run.AllocsPerOp, run.BytesPerOp, run.NsPerOp)
+	}
+	fmt.Fprintf(&b, "\nbinary vs json: doc-insert %.1f%% fewer wire bytes (end-to-end), %.1f%% fewer allocs (per RPC); "+
+		"SSE search %.1f%% fewer wire bytes (end-to-end), %.1f%% fewer allocs (per RPC)\n",
+		100*r.InsertBytesReduction, 100*r.InsertAllocsReduction,
+		100*r.SearchBytesReduction, 100*r.SearchAllocsReduction)
+	return b.String()
+}

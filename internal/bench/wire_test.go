@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunWireSmoke runs a miniature A/B (tiny population, one caller
+// count) and checks the result's shape: every cell present with positive
+// throughput and per-op accounting, RPC-level runs covering both codecs
+// and both hot methods, and the binary arm strictly cheaper than JSON on
+// wire bytes in every cell — that inequality is the experiment's reason
+// to exist and holds at any scale.
+func TestRunWireSmoke(t *testing.T) {
+	cfg := WireConfig{
+		Shards: 2, Docs: 24, Searches: 32,
+		CallerCounts: []int{2}, BodyBytes: 96, Seed: 7,
+	}
+	r, err := RunWire(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 2 {
+		t.Fatalf("got %d cells, want 2", len(r.Runs))
+	}
+	byCodec := map[string]WireRun{}
+	for _, run := range r.Runs {
+		byCodec[run.Codec] = run
+		if run.InsertOps != cfg.Docs || run.SearchOps != cfg.Searches {
+			t.Errorf("%s: ops %d/%d, want %d/%d", run.Codec, run.InsertOps, run.SearchOps, cfg.Docs, cfg.Searches)
+		}
+		if run.InsertThroughput <= 0 || run.SearchThroughput <= 0 {
+			t.Errorf("%s: non-positive throughput %+v", run.Codec, run)
+		}
+		if run.InsertBytesPerOp <= 0 || run.SearchBytesPerOp <= 0 {
+			t.Errorf("%s: non-positive wire bytes per op %+v", run.Codec, run)
+		}
+	}
+	j, b := byCodec["json"], byCodec["binary"]
+	if b.InsertBytesPerOp >= j.InsertBytesPerOp {
+		t.Errorf("binary insert bytes/op %.1f not below json %.1f", b.InsertBytesPerOp, j.InsertBytesPerOp)
+	}
+	if b.SearchBytesPerOp >= j.SearchBytesPerOp {
+		t.Errorf("binary search bytes/op %.1f not below json %.1f", b.SearchBytesPerOp, j.SearchBytesPerOp)
+	}
+
+	if len(r.RPCRuns) != 4 {
+		t.Fatalf("got %d RPC runs, want 4", len(r.RPCRuns))
+	}
+	rpc := map[string]WireRPCRun{}
+	for _, run := range r.RPCRuns {
+		rpc[run.Codec+"/"+run.Method] = run
+		if run.AllocsPerOp <= 0 || run.BytesPerOp <= 0 {
+			t.Errorf("rpc %s/%s: non-positive accounting %+v", run.Codec, run.Method, run)
+		}
+	}
+	for _, method := range []string{"doc.put", "mitra.search"} {
+		if rpc["binary/"+method].BytesPerOp >= rpc["json/"+method].BytesPerOp {
+			t.Errorf("rpc %s: binary bytes/op %.1f not below json %.1f",
+				method, rpc["binary/"+method].BytesPerOp, rpc["json/"+method].BytesPerOp)
+		}
+		if rpc["binary/"+method].AllocsPerOp >= rpc["json/"+method].AllocsPerOp {
+			t.Errorf("rpc %s: binary allocs/op %.1f not below json %.1f",
+				method, rpc["binary/"+method].AllocsPerOp, rpc["json/"+method].AllocsPerOp)
+		}
+	}
+}

@@ -201,21 +201,13 @@ func coded(err error) error {
 }
 
 func registerDocService(mux *transport.Mux, docs *docstore.Store) {
-	mux.Handle(DocService, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocPutArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "put", func(_ context.Context, in *DocPutArgs) (any, error) {
 		if in.IfAbsent {
 			return nil, coded(docs.Insert(in.Collection, in.ID, in.Blob))
 		}
 		return nil, docs.Put(in.Collection, in.ID, in.Blob)
 	})
-	mux.Handle(DocService, "putmany", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocPutManyArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "putmany", func(_ context.Context, in *DocPutManyArgs) (any, error) {
 		for _, rec := range in.Records {
 			if in.IfAbsent {
 				if err := docs.Insert(in.Collection, rec.ID, rec.Blob); err != nil {
@@ -229,11 +221,7 @@ func registerDocService(mux *transport.Mux, docs *docstore.Store) {
 		}
 		return nil, nil
 	})
-	mux.Handle(DocService, "deletemany", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocDeleteManyArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "deletemany", func(_ context.Context, in *DocDeleteManyArgs) (any, error) {
 		deleted := 0
 		for _, id := range in.IDs {
 			err := docs.Delete(in.Collection, id)
@@ -246,57 +234,37 @@ func registerDocService(mux *transport.Mux, docs *docstore.Store) {
 			}
 			return nil, err
 		}
-		return DocDeleteManyReply{Deleted: deleted}, nil
+		return &DocDeleteManyReply{Deleted: deleted}, nil
 	})
-	mux.Handle(DocService, "get", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocGetArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "get", func(_ context.Context, in *DocGetArgs) (any, error) {
 		blob, err := docs.Get(in.Collection, in.ID)
 		if err != nil {
 			return nil, coded(err)
 		}
-		return DocGetReply{Blob: blob}, nil
+		return &DocGetReply{Blob: blob}, nil
 	})
-	mux.Handle(DocService, "getmany", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocGetManyArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "getmany", func(_ context.Context, in *DocGetManyArgs) (any, error) {
 		recs, err := docs.GetMany(in.Collection, in.IDs)
 		if err != nil {
 			return nil, err
 		}
-		return DocGetManyReply{Records: recs}, nil
+		return &DocGetManyReply{Records: recs}, nil
 	})
-	mux.Handle(DocService, "delete", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocDeleteArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "delete", func(_ context.Context, in *DocDeleteArgs) (any, error) {
 		return nil, coded(docs.Delete(in.Collection, in.ID))
 	})
-	mux.Handle(DocService, "scan", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocScanArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "scan", func(_ context.Context, in *DocScanArgs) (any, error) {
 		recs, err := docs.Scan(in.Collection, in.After, in.Limit)
 		if err != nil {
 			return nil, err
 		}
-		return DocScanReply{Records: recs}, nil
+		return &DocScanReply{Records: recs}, nil
 	})
-	mux.Handle(DocService, "count", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in DocCountArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, DocService, "count", func(_ context.Context, in *DocCountArgs) (any, error) {
 		n, err := docs.Count(in.Collection)
 		if err != nil {
 			return nil, err
 		}
-		return DocCountReply{Count: n}, nil
+		return &DocCountReply{Count: n}, nil
 	})
 }

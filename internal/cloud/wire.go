@@ -1,0 +1,130 @@
+// Typed wire codecs (codec v2) for the document service: blobs ride as
+// raw bytes instead of base64 JSON. Registered at init so any process
+// importing this package — gateway and cloudserver both — negotiates them.
+
+package cloud
+
+import (
+	"datablinder/internal/store/docstore"
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func appendRecords(b []byte, recs []docstore.Record) []byte {
+	b = wirefmt.AppendUvarint(b, uint64(len(recs)))
+	for _, rec := range recs {
+		b = wirefmt.AppendString(b, rec.ID)
+		b = wirefmt.AppendBytes(b, rec.Blob)
+	}
+	return b
+}
+
+func readRecords(r *wirefmt.Reader) []docstore.Record {
+	n := r.Count()
+	if n == 0 {
+		return nil
+	}
+	recs := make([]docstore.Record, n)
+	for i := range recs {
+		recs[i].ID = r.String()
+		recs[i].Blob = r.Bytes()
+	}
+	return recs
+}
+
+func init() {
+	transport.RegisterCodec(DocService, "put", transport.WriteCodec(
+		func(b []byte, a *DocPutArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			b = wirefmt.AppendString(b, a.ID)
+			b = wirefmt.AppendBytes(b, a.Blob)
+			return wirefmt.AppendBool(b, a.IfAbsent)
+		},
+		func(r *wirefmt.Reader, a *DocPutArgs) {
+			a.Collection = r.String()
+			a.ID = r.String()
+			a.Blob = r.Bytes()
+			a.IfAbsent = r.Bool()
+		},
+	))
+	transport.RegisterCodec(DocService, "putmany", transport.WriteCodec(
+		func(b []byte, a *DocPutManyArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			b = appendRecords(b, a.Records)
+			return wirefmt.AppendBool(b, a.IfAbsent)
+		},
+		func(r *wirefmt.Reader, a *DocPutManyArgs) {
+			a.Collection = r.String()
+			a.Records = readRecords(r)
+			a.IfAbsent = r.Bool()
+		},
+	))
+	transport.RegisterCodec(DocService, "get", transport.Codec(
+		func(b []byte, a *DocGetArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			return wirefmt.AppendString(b, a.ID)
+		},
+		func(r *wirefmt.Reader, a *DocGetArgs) {
+			a.Collection = r.String()
+			a.ID = r.String()
+		},
+		func(b []byte, out *DocGetReply) []byte { return wirefmt.AppendBytes(b, out.Blob) },
+		func(r *wirefmt.Reader, out *DocGetReply) { out.Blob = r.Bytes() },
+	))
+	transport.RegisterCodec(DocService, "getmany", transport.Codec(
+		func(b []byte, a *DocGetManyArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			return wirefmt.AppendStrings(b, a.IDs)
+		},
+		func(r *wirefmt.Reader, a *DocGetManyArgs) {
+			a.Collection = r.String()
+			a.IDs = r.Strings()
+		},
+		func(b []byte, out *DocGetManyReply) []byte { return appendRecords(b, out.Records) },
+		func(r *wirefmt.Reader, out *DocGetManyReply) { out.Records = readRecords(r) },
+	))
+	transport.RegisterCodec(DocService, "delete", transport.WriteCodec(
+		func(b []byte, a *DocDeleteArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			return wirefmt.AppendString(b, a.ID)
+		},
+		func(r *wirefmt.Reader, a *DocDeleteArgs) {
+			a.Collection = r.String()
+			a.ID = r.String()
+		},
+	))
+	transport.RegisterCodec(DocService, "deletemany", transport.Codec(
+		func(b []byte, a *DocDeleteManyArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			return wirefmt.AppendStrings(b, a.IDs)
+		},
+		func(r *wirefmt.Reader, a *DocDeleteManyArgs) {
+			a.Collection = r.String()
+			a.IDs = r.Strings()
+		},
+		func(b []byte, out *DocDeleteManyReply) []byte {
+			return wirefmt.AppendUvarint(b, uint64(out.Deleted))
+		},
+		func(r *wirefmt.Reader, out *DocDeleteManyReply) { out.Deleted = int(r.Uvarint()) },
+	))
+	transport.RegisterCodec(DocService, "scan", transport.Codec(
+		func(b []byte, a *DocScanArgs) []byte {
+			b = wirefmt.AppendString(b, a.Collection)
+			b = wirefmt.AppendString(b, a.After)
+			return wirefmt.AppendUvarint(b, uint64(a.Limit))
+		},
+		func(r *wirefmt.Reader, a *DocScanArgs) {
+			a.Collection = r.String()
+			a.After = r.String()
+			a.Limit = int(r.Uvarint())
+		},
+		func(b []byte, out *DocScanReply) []byte { return appendRecords(b, out.Records) },
+		func(r *wirefmt.Reader, out *DocScanReply) { out.Records = readRecords(r) },
+	))
+	transport.RegisterCodec(DocService, "count", transport.Codec(
+		func(b []byte, a *DocCountArgs) []byte { return wirefmt.AppendString(b, a.Collection) },
+		func(r *wirefmt.Reader, a *DocCountArgs) { a.Collection = r.String() },
+		func(b []byte, out *DocCountReply) []byte { return wirefmt.AppendUvarint(b, uint64(out.Count)) },
+		func(r *wirefmt.Reader, out *DocCountReply) { out.Count = int(r.Uvarint()) },
+	))
+}

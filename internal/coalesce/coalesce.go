@@ -131,10 +131,17 @@ func classify(service, method string) opClass {
 	return methodClass[service+"."+method]
 }
 
-// entry is one caller's queued sub-call plus its completion future.
+// entry is one caller's queued sub-call plus its completion future. The
+// payload is pre-encoded with the underlying connection's wire codec at
+// enqueue time (exact byte accounting, byte-level dedup keys, encode-once
+// flushes); args is retained so the flush can re-encode if the socket's
+// codec changes underneath the queue.
 type entry struct {
 	service, method string
-	payload         json.RawMessage
+	payload         []byte
+	typed           bool // payload uses the codec's typed (binary) encoding
+	size            int  // exact/estimated encoded sub-call size
+	args            any
 	dedupKey        string // non-empty for reads
 	getArgs         *cloud.DocGetArgs
 
@@ -173,16 +180,10 @@ func New(under transport.Conn, opts Options) *Conn {
 // Under returns the wrapped connection.
 func (c *Conn) Under() transport.Conn { return c.under }
 
-func marshalArgs(args any) (json.RawMessage, error) {
-	if args == nil {
-		return nil, nil
-	}
-	b, err := json.Marshal(args)
-	if err != nil {
-		return nil, fmt.Errorf("coalesce: encoding args: %w", err)
-	}
-	return b, nil
-}
+// WireCodec exposes the underlying connection's codec so outer layers
+// (batch chunking in particular) account the same wire sizes the flush
+// will pay.
+func (c *Conn) WireCodec() transport.WireCodec { return transport.ConnCodec(c.under) }
 
 // Call implements transport.Conn. Coalescable calls are queued and the
 // caller parks on a completion future; everything else passes through.
@@ -192,13 +193,14 @@ func (c *Conn) Call(ctx context.Context, service, method string, args, reply any
 		c.stats.passthrough.Add(1)
 		return c.under.Call(ctx, service, method, args, reply)
 	}
-	payload, err := marshalArgs(args)
+	codec := transport.ConnCodec(c.under)
+	payload, typed, err := codec.EncodeArgs(service, method, args)
 	if err != nil {
 		return err
 	}
 	c.enter()
 	defer c.exit()
-	e, ok := c.add(service, method, payload, args, cls)
+	e, ok := c.add(codec, service, method, payload, typed, args, cls)
 	if !ok {
 		// Closed: fall through to the underlying conn, which reports it.
 		return c.under.Call(ctx, service, method, args, reply)
@@ -221,17 +223,23 @@ func (c *Conn) CallBatch(ctx context.Context, calls []transport.BatchCall) ([]tr
 	if c.opts.Disabled {
 		return transport.CallBatch(ctx, c.under, calls)
 	}
-	payloads := make([]json.RawMessage, len(calls))
+	codec := transport.ConnCodec(c.under)
+	entries := make([]*entry, len(calls))
 	for i, call := range calls {
-		p, err := marshalArgs(call.Args)
+		p, typed, err := codec.EncodeArgs(call.Service, call.Method, call.Args)
 		if err != nil {
 			return nil, err
 		}
-		payloads[i] = p
+		entries[i] = &entry{
+			service: call.Service, method: call.Method,
+			payload: p, typed: typed, args: call.Args,
+			size: codec.SubSize(call.Service, call.Method, len(p)),
+			done: make(chan struct{}),
+		}
 	}
 	c.enter()
 	defer c.exit()
-	entries, ok := c.addBatch(calls, payloads)
+	ok := c.addBatch(entries)
 	if !ok {
 		return transport.CallBatch(ctx, c.under, calls)
 	}
@@ -299,10 +307,13 @@ func (c *Conn) gatherReadyLocked() bool {
 
 // add enqueues one sub-call, possibly flushing. Reads join an identical
 // queued read instead of re-enqueueing. Returns ok=false when closed.
-func (c *Conn) add(service, method string, payload json.RawMessage, args any, cls opClass) (e *entry, ok bool) {
+func (c *Conn) add(codec transport.WireCodec, service, method string, payload []byte, typed bool, args any, cls opClass) (e *entry, ok bool) {
 	var key string
 	if cls == opRead || cls == opGet {
-		key = service + "." + method + "\x00" + string(payload)
+		// The codec name keys the byte-level dedup: identical reads encode
+		// identically under one codec, and payloads from different codecs
+		// must never be conflated.
+		key = service + "." + method + "\x00" + codec.Name() + "\x00" + string(payload)
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -329,14 +340,24 @@ func (c *Conn) add(service, method string, payload json.RawMessage, args any, cl
 			}
 		}
 	}
-	e = &entry{service: service, method: method, payload: payload, dedupKey: key, done: make(chan struct{})}
+	e = &entry{
+		service: service, method: method,
+		payload: payload, typed: typed, args: args,
+		size:     codec.SubSize(service, method, len(payload)),
+		dedupKey: key, done: make(chan struct{}),
+	}
 	if cls == opGet {
-		if ga, isGet := args.(cloud.DocGetArgs); isGet {
+		switch ga := args.(type) {
+		case cloud.DocGetArgs:
 			e.getArgs = &ga
-		} else if len(payload) > 0 {
-			var ga cloud.DocGetArgs
-			if json.Unmarshal(payload, &ga) == nil {
-				e.getArgs = &ga
+		case *cloud.DocGetArgs:
+			e.getArgs = ga
+		default:
+			if !typed && len(payload) > 0 {
+				var parsed cloud.DocGetArgs
+				if json.Unmarshal(payload, &parsed) == nil {
+					e.getArgs = &parsed
+				}
 			}
 		}
 	}
@@ -349,23 +370,19 @@ func (c *Conn) add(service, method string, payload json.RawMessage, args any, cl
 }
 
 // addBatch enqueues a caller's pre-built batch as consecutive entries.
-func (c *Conn) addBatch(calls []transport.BatchCall, payloads []json.RawMessage) ([]*entry, bool) {
-	entries := make([]*entry, len(calls))
-	for i, call := range calls {
-		entries[i] = &entry{service: call.Service, method: call.Method, payload: payloads[i], done: make(chan struct{})}
-	}
+func (c *Conn) addBatch(entries []*entry) bool {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, false
+		return false
 	}
-	c.stats.enqueued.Add(uint64(len(calls)))
+	c.stats.enqueued.Add(uint64(len(entries)))
 	batch, trigger := c.appendLocked(entries)
 	c.mu.Unlock()
 	if batch != nil {
 		c.send(batch, trigger)
 	}
-	return entries, true
+	return true
 }
 
 // appendLocked queues entries for one caller, marks the caller as having
@@ -374,7 +391,7 @@ func (c *Conn) addBatch(calls []transport.BatchCall, payloads []json.RawMessage)
 func (c *Conn) appendLocked(entries []*entry) ([]*entry, string) {
 	for _, e := range entries {
 		c.pend = append(c.pend, e)
-		c.bytes += len(e.payload) + subCallOverhead
+		c.bytes += e.size
 	}
 	c.contributed++
 	if d := uint64(len(c.pend)); d > c.stats.maxDepth.Load() {
@@ -394,10 +411,6 @@ func (c *Conn) appendLocked(entries []*entry) ([]*entry, string) {
 	}
 	return nil, ""
 }
-
-// subCallOverhead approximates the per-sub-call JSON framing cost
-// (id/service/method keys and quoting) for the byte cap.
-const subCallOverhead = 48
 
 // takeLocked removes the whole queue, resetting contribution accounting
 // and invalidating the pending window timer.
@@ -459,13 +472,6 @@ type planned struct {
 	ids     []string // member ids of a merged getmany, in member order
 }
 
-func rawArgs(p json.RawMessage) any {
-	if len(p) == 0 {
-		return nil
-	}
-	return p
-}
-
 // plan folds a batch into wire sub-calls, merging concurrent doc.get
 // entries of the same collection into one doc.getmany. The merged call
 // takes the queue position of its first member.
@@ -494,7 +500,10 @@ func (c *Conn) plan(batch []*entry) []planned {
 			continue
 		}
 		plans = append(plans, planned{
-			call:    transport.BatchCall{Service: e.service, Method: e.method, Args: rawArgs(e.payload)},
+			call: transport.BatchCall{
+				Service: e.service, Method: e.method,
+				Args: e.args, Raw: e.payload, RawTyped: e.typed,
+			},
 			members: []*entry{e},
 		})
 	}
@@ -506,7 +515,10 @@ func (c *Conn) plan(batch []*entry) []planned {
 		} else if len(plans[i].ids) == 1 {
 			// A lone get in a multi-get batch stays a plain doc.get.
 			e := plans[i].members[0]
-			plans[i].call = transport.BatchCall{Service: e.service, Method: e.method, Args: rawArgs(e.payload)}
+			plans[i].call = transport.BatchCall{
+				Service: e.service, Method: e.method,
+				Args: e.args, Raw: e.payload, RawTyped: e.typed,
+			}
 			plans[i].ids = nil
 		}
 	}
@@ -532,14 +544,13 @@ func (c *Conn) send(batch []*entry, trigger string) {
 	ctx := context.Background()
 
 	if len(plans) == 1 && len(plans[0].members) == 1 {
-		// A solo flush needs no batch framing.
+		// A solo flush needs no batch framing: ship the pre-encoded payload
+		// and capture the raw result for the caller's deferred decode.
 		e := plans[0].members[0]
-		var raw json.RawMessage
-		if err := c.under.Call(ctx, e.service, e.method, rawArgs(e.payload), &raw); err != nil {
+		args := transport.RawArgs{Payload: e.payload, Typed: e.typed, Args: e.args}
+		if err := c.under.Call(ctx, e.service, e.method, args, &e.res); err != nil {
 			e.res = transport.BatchResult{Err: err}
-			return
 		}
-		e.res = transport.BatchResult{Payload: raw}
 		return
 	}
 

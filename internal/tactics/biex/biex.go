@@ -14,7 +14,6 @@ package biex
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -312,29 +311,17 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		}
 		return s
 	}
-	mux.Handle(Service, "insert", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in InsertArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "insert", func(_ context.Context, in *InsertArgs) (any, error) {
 		return nil, server(in.Namespace).Insert(in.Entries)
 	})
-	mux.Handle(Service, "search", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in SearchArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "search", func(_ context.Context, in *SearchArgs) (any, error) {
 		ids, err := server(in.Namespace).Search(in.Token)
 		if err != nil {
 			return nil, err
 		}
-		return SearchReply{IDs: ids}, nil
+		return &SearchReply{IDs: ids}, nil
 	})
-	mux.Handle(Service, "repack", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in RepackArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "repack", func(_ context.Context, in *RepackArgs) (any, error) {
 		return nil, server(in.Namespace).RepackGlobal(in.Stale, in.Entries)
 	})
 }

@@ -11,7 +11,6 @@ package det
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -251,25 +250,13 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 	setKey := func(schema, field string, ct []byte) []byte {
 		return append([]byte(fmt.Sprintf("detidx/%s/%s/", schema, field)), ct...)
 	}
-	mux.Handle(Service, "add", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in AddArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "add", func(_ context.Context, in *AddArgs) (any, error) {
 		return nil, store.SAdd(setKey(in.Schema, in.Field, in.CT), []byte(in.DocID))
 	})
-	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in RemoveArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "remove", func(_ context.Context, in *RemoveArgs) (any, error) {
 		return nil, store.SRem(setKey(in.Schema, in.Field, in.CT), []byte(in.DocID))
 	})
-	mux.Handle(Service, "lookup", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in LookupArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "lookup", func(_ context.Context, in *LookupArgs) (any, error) {
 		members, err := store.SMembers(setKey(in.Schema, in.Field, in.CT))
 		if err != nil {
 			return nil, err
@@ -278,7 +265,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		for i, m := range members {
 			reply.DocIDs[i] = string(m)
 		}
-		return reply, nil
+		return &reply, nil
 	})
 }
 

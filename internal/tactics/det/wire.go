@@ -1,0 +1,42 @@
+// Typed wire codecs (codec v2) for the DET tactic: ciphertexts ride as
+// raw bytes instead of base64 JSON.
+
+package det
+
+import (
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func appendAdd(b []byte, a *AddArgs) []byte {
+	b = wirefmt.AppendString(b, a.Schema)
+	b = wirefmt.AppendString(b, a.Field)
+	b = wirefmt.AppendBytes(b, a.CT)
+	return wirefmt.AppendString(b, a.DocID)
+}
+
+func readAdd(r *wirefmt.Reader, a *AddArgs) {
+	a.Schema = r.String()
+	a.Field = r.String()
+	a.CT = r.Bytes()
+	a.DocID = r.String()
+}
+
+func init() {
+	transport.RegisterCodec(Service, "add", transport.WriteCodec(appendAdd, readAdd))
+	transport.RegisterCodec(Service, "remove", transport.WriteCodec(appendAdd, readAdd))
+	transport.RegisterCodec(Service, "lookup", transport.Codec(
+		func(b []byte, a *LookupArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			return wirefmt.AppendBytes(b, a.CT)
+		},
+		func(r *wirefmt.Reader, a *LookupArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.CT = r.Bytes()
+		},
+		func(b []byte, out *LookupReply) []byte { return wirefmt.AppendStrings(b, out.DocIDs) },
+		func(r *wirefmt.Reader, out *LookupReply) { out.DocIDs = r.Strings() },
+	))
+}

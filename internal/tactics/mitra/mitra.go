@@ -6,7 +6,6 @@ package mitra
 
 import (
 	"context"
-	"encoding/json"
 
 	"datablinder/internal/cloud/ring"
 	"datablinder/internal/keys"
@@ -155,23 +154,15 @@ func (t *Tactic) SearchEq(ctx context.Context, field string, value any) ([]strin
 // RegisterCloud installs the cloud half on mux, backed by store.
 func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 	servers := newServerCache(store)
-	mux.Handle(Service, "insert", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in InsertArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "insert", func(_ context.Context, in *InsertArgs) (any, error) {
 		return nil, servers.get(in.Schema).Insert(in.Entries)
 	})
-	mux.Handle(Service, "search", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in SearchArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "search", func(_ context.Context, in *SearchArgs) (any, error) {
 		vals, err := servers.get(in.Schema).Search(ssemitra.SearchRequest{Addrs: in.Addrs})
 		if err != nil {
 			return nil, err
 		}
-		return SearchReply{Vals: vals}, nil
+		return &SearchReply{Vals: vals}, nil
 	})
 }
 

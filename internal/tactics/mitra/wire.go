@@ -1,0 +1,48 @@
+// Typed wire codecs (codec v2) for the Mitra SSE tactic: update cells and
+// search address lists ride as raw bytes instead of base64 JSON.
+
+package mitra
+
+import (
+	ssemitra "datablinder/internal/sse/mitra"
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func init() {
+	transport.RegisterCodec(Service, "insert", transport.WriteCodec(
+		func(b []byte, a *InsertArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendUvarint(b, uint64(len(a.Entries)))
+			for _, e := range a.Entries {
+				b = wirefmt.AppendBytes(b, e.Addr)
+				b = wirefmt.AppendBytes(b, e.Val)
+			}
+			return b
+		},
+		func(r *wirefmt.Reader, a *InsertArgs) {
+			a.Schema = r.String()
+			n := r.Count()
+			if n == 0 {
+				return
+			}
+			a.Entries = make([]ssemitra.Entry, n)
+			for i := range a.Entries {
+				a.Entries[i].Addr = r.Bytes()
+				a.Entries[i].Val = r.Bytes()
+			}
+		},
+	))
+	transport.RegisterCodec(Service, "search", transport.Codec(
+		func(b []byte, a *SearchArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			return wirefmt.AppendByteSlices(b, a.Addrs)
+		},
+		func(r *wirefmt.Reader, a *SearchArgs) {
+			a.Schema = r.String()
+			a.Addrs = r.ByteSlices()
+		},
+		func(b []byte, out *SearchReply) []byte { return wirefmt.AppendByteSlices(b, out.Vals) },
+		func(r *wirefmt.Reader, out *SearchReply) { out.Vals = r.ByteSlices() },
+	))
+}

@@ -11,7 +11,6 @@ package ope
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 
 	"datablinder/internal/cloud/ring"
@@ -256,25 +255,13 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 	idxKey := func(schema, field string) []byte {
 		return []byte(fmt.Sprintf("opeidx/%s/%s", schema, field))
 	}
-	mux.Handle(Service, "add", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in AddArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "add", func(_ context.Context, in *AddArgs) (any, error) {
 		return nil, store.ZAdd(idxKey(in.Schema, in.Field), in.CT, []byte(in.DocID))
 	})
-	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in RemoveArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "remove", func(_ context.Context, in *RemoveArgs) (any, error) {
 		return nil, store.ZRem(idxKey(in.Schema, in.Field), in.CT, []byte(in.DocID))
 	})
-	mux.Handle(Service, "query", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in QueryArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "query", func(_ context.Context, in *QueryArgs) (any, error) {
 		pairs, err := store.ZRangeByScore(idxKey(in.Schema, in.Field), in.Lo, in.Hi, in.LoInc, in.HiInc)
 		if err != nil {
 			return nil, err
@@ -287,7 +274,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 			reply.DocIDs[i] = string(p.Member)
 			reply.Scores[i] = p.Score
 		}
-		return reply, nil
+		return &reply, nil
 	})
 }
 

@@ -1,0 +1,53 @@
+// Typed wire codecs (codec v2) for the OPE tactic.
+
+package ope
+
+import (
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func appendAdd(b []byte, a *AddArgs) []byte {
+	b = wirefmt.AppendString(b, a.Schema)
+	b = wirefmt.AppendString(b, a.Field)
+	b = wirefmt.AppendBytes(b, a.CT)
+	return wirefmt.AppendString(b, a.DocID)
+}
+
+func readAdd(r *wirefmt.Reader, a *AddArgs) {
+	a.Schema = r.String()
+	a.Field = r.String()
+	a.CT = r.Bytes()
+	a.DocID = r.String()
+}
+
+func init() {
+	transport.RegisterCodec(Service, "add", transport.WriteCodec(appendAdd, readAdd))
+	transport.RegisterCodec(Service, "remove", transport.WriteCodec(appendAdd, readAdd))
+	transport.RegisterCodec(Service, "query", transport.Codec(
+		func(b []byte, a *QueryArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			b = wirefmt.AppendBytes(b, a.Lo)
+			b = wirefmt.AppendBytes(b, a.Hi)
+			b = wirefmt.AppendBool(b, a.LoInc)
+			return wirefmt.AppendBool(b, a.HiInc)
+		},
+		func(r *wirefmt.Reader, a *QueryArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.Lo = r.Bytes()
+			a.Hi = r.Bytes()
+			a.LoInc = r.Bool()
+			a.HiInc = r.Bool()
+		},
+		func(b []byte, out *QueryReply) []byte {
+			b = wirefmt.AppendStrings(b, out.DocIDs)
+			return wirefmt.AppendByteSlices(b, out.Scores)
+		},
+		func(r *wirefmt.Reader, out *QueryReply) {
+			out.DocIDs = r.Strings()
+			out.Scores = r.ByteSlices()
+		},
+	))
+}

@@ -12,7 +12,6 @@ package ore
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 
 	"datablinder/internal/cloud/ring"
@@ -205,25 +204,13 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 	colKey := func(schema, field string) []byte {
 		return []byte(fmt.Sprintf("oreidx/%s/%s", schema, field))
 	}
-	mux.Handle(Service, "add", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in AddArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "add", func(_ context.Context, in *AddArgs) (any, error) {
 		return nil, store.HSet(colKey(in.Schema, in.Field), []byte(in.DocID), in.CT)
 	})
-	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in RemoveArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "remove", func(_ context.Context, in *RemoveArgs) (any, error) {
 		return nil, store.HDel(colKey(in.Schema, in.Field), []byte(in.DocID))
 	})
-	mux.Handle(Service, "query", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in QueryArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "query", func(_ context.Context, in *QueryArgs) (any, error) {
 		key := colKey(in.Schema, in.Field)
 		docs, err := store.HFields(key)
 		if err != nil {
@@ -258,7 +245,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 			}
 			reply.DocIDs = append(reply.DocIDs, string(d))
 		}
-		return reply, nil
+		return &reply, nil
 	})
 }
 

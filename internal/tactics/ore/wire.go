@@ -1,0 +1,57 @@
+// Typed wire codecs (codec v2) for the ORE tactic.
+
+package ore
+
+import (
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func init() {
+	transport.RegisterCodec(Service, "add", transport.WriteCodec(
+		func(b []byte, a *AddArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			b = wirefmt.AppendBytes(b, a.CT)
+			return wirefmt.AppendString(b, a.DocID)
+		},
+		func(r *wirefmt.Reader, a *AddArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.CT = r.Bytes()
+			a.DocID = r.String()
+		},
+	))
+	transport.RegisterCodec(Service, "remove", transport.WriteCodec(
+		func(b []byte, a *RemoveArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			return wirefmt.AppendString(b, a.DocID)
+		},
+		func(r *wirefmt.Reader, a *RemoveArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.DocID = r.String()
+		},
+	))
+	transport.RegisterCodec(Service, "query", transport.Codec(
+		func(b []byte, a *QueryArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			b = wirefmt.AppendBytes(b, a.Lo)
+			b = wirefmt.AppendBytes(b, a.Hi)
+			b = wirefmt.AppendBool(b, a.LoInc)
+			return wirefmt.AppendBool(b, a.HiInc)
+		},
+		func(r *wirefmt.Reader, a *QueryArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.Lo = r.Bytes()
+			a.Hi = r.Bytes()
+			a.LoInc = r.Bool()
+			a.HiInc = r.Bool()
+		},
+		func(b []byte, out *QueryReply) []byte { return wirefmt.AppendStrings(b, out.DocIDs) },
+		func(r *wirefmt.Reader, out *QueryReply) { out.DocIDs = r.Strings() },
+	))
+}

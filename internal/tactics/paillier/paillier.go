@@ -371,32 +371,16 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		pkCache[schema] = pk
 		return pk, nil
 	}
-	mux.Handle(Service, "setup", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in SetupArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "setup", func(_ context.Context, in *SetupArgs) (any, error) {
 		return nil, store.Set(pkKey(in.Schema), in.N)
 	})
-	mux.Handle(Service, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in PutArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "put", func(_ context.Context, in *PutArgs) (any, error) {
 		return nil, store.HSet(colKey(in.Schema, in.Field), []byte(in.DocID), in.CT)
 	})
-	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in RemoveArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "remove", func(_ context.Context, in *RemoveArgs) (any, error) {
 		return nil, store.HDel(colKey(in.Schema, in.Field), []byte(in.DocID))
 	})
-	mux.Handle(Service, "sum", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in SumArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "sum", func(_ context.Context, in *SumArgs) (any, error) {
 		nBytes, ok, err := store.Get(pkKey(in.Schema))
 		if err != nil {
 			return nil, err
@@ -431,7 +415,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 			}
 			count++
 		}
-		return SumReply{CT: acc.Bytes(), Count: count}, nil
+		return &SumReply{CT: acc.Bytes(), Count: count}, nil
 	})
 }
 

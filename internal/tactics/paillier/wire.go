@@ -1,0 +1,59 @@
+// Typed wire codecs (codec v2) for the Paillier aggregation tactic:
+// ~256-byte ciphertexts ride as raw bytes instead of base64 JSON. The
+// setup RPC (public key, once per schema) stays JSON.
+
+package paillier
+
+import (
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func init() {
+	transport.RegisterCodec(Service, "put", transport.WriteCodec(
+		func(b []byte, a *PutArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			b = wirefmt.AppendString(b, a.DocID)
+			return wirefmt.AppendBytes(b, a.CT)
+		},
+		func(r *wirefmt.Reader, a *PutArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.DocID = r.String()
+			a.CT = r.Bytes()
+		},
+	))
+	transport.RegisterCodec(Service, "remove", transport.WriteCodec(
+		func(b []byte, a *RemoveArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			return wirefmt.AppendString(b, a.DocID)
+		},
+		func(r *wirefmt.Reader, a *RemoveArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.DocID = r.String()
+		},
+	))
+	transport.RegisterCodec(Service, "sum", transport.Codec(
+		func(b []byte, a *SumArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			return wirefmt.AppendStrings(b, a.DocIDs)
+		},
+		func(r *wirefmt.Reader, a *SumArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.DocIDs = r.Strings()
+		},
+		func(b []byte, out *SumReply) []byte {
+			b = wirefmt.AppendBytes(b, out.CT)
+			return wirefmt.AppendUvarint(b, uint64(out.Count))
+		},
+		func(r *wirefmt.Reader, out *SumReply) {
+			out.CT = r.Bytes()
+			out.Count = int(r.Uvarint())
+		},
+	))
+}

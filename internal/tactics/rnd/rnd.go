@@ -11,7 +11,6 @@ package rnd
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 
 	"datablinder/internal/cloud/ring"
@@ -229,25 +228,13 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 	colKey := func(schema, field string) []byte {
 		return []byte(fmt.Sprintf("rndidx/%s/%s", schema, field))
 	}
-	mux.Handle(Service, "put", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in PutArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "put", func(_ context.Context, in *PutArgs) (any, error) {
 		return nil, store.HSet(colKey(in.Schema, in.Field), []byte(in.DocID), in.CT)
 	})
-	mux.Handle(Service, "remove", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in RemoveArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "remove", func(_ context.Context, in *RemoveArgs) (any, error) {
 		return nil, store.HDel(colKey(in.Schema, in.Field), []byte(in.DocID))
 	})
-	mux.Handle(Service, "scan", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in ScanArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "scan", func(_ context.Context, in *ScanArgs) (any, error) {
 		fields, err := store.HFields(colKey(in.Schema, in.Field))
 		if err != nil {
 			return nil, err
@@ -262,7 +249,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 				reply.Items = append(reply.Items, ScanItem{DocID: string(f), CT: ct})
 			}
 		}
-		return reply, nil
+		return &reply, nil
 	})
 }
 

@@ -1,0 +1,66 @@
+// Typed wire codecs (codec v2) for the RND tactic.
+
+package rnd
+
+import (
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func init() {
+	transport.RegisterCodec(Service, "put", transport.WriteCodec(
+		func(b []byte, a *PutArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			b = wirefmt.AppendString(b, a.DocID)
+			return wirefmt.AppendBytes(b, a.CT)
+		},
+		func(r *wirefmt.Reader, a *PutArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.DocID = r.String()
+			a.CT = r.Bytes()
+		},
+	))
+	transport.RegisterCodec(Service, "remove", transport.WriteCodec(
+		func(b []byte, a *RemoveArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendString(b, a.Field)
+			return wirefmt.AppendString(b, a.DocID)
+		},
+		func(r *wirefmt.Reader, a *RemoveArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+			a.DocID = r.String()
+		},
+	))
+	transport.RegisterCodec(Service, "scan", transport.Codec(
+		func(b []byte, a *ScanArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			return wirefmt.AppendString(b, a.Field)
+		},
+		func(r *wirefmt.Reader, a *ScanArgs) {
+			a.Schema = r.String()
+			a.Field = r.String()
+		},
+		func(b []byte, out *ScanReply) []byte {
+			b = wirefmt.AppendUvarint(b, uint64(len(out.Items)))
+			for _, it := range out.Items {
+				b = wirefmt.AppendString(b, it.DocID)
+				b = wirefmt.AppendBytes(b, it.CT)
+			}
+			return b
+		},
+		func(r *wirefmt.Reader, out *ScanReply) {
+			n := r.Count()
+			if n == 0 {
+				return
+			}
+			out.Items = make([]ScanItem, n)
+			for i := range out.Items {
+				out.Items[i].DocID = r.String()
+				out.Items[i].CT = r.Bytes()
+			}
+		},
+	))
+}

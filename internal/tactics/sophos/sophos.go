@@ -292,33 +292,21 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		}
 		return pk, nil
 	}
-	mux.Handle(Service, "setup", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in SetupArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "setup", func(_ context.Context, in *SetupArgs) (any, error) {
 		raw, err := json.Marshal(in.PK)
 		if err != nil {
 			return nil, err
 		}
 		return nil, store.Set(pkKey(in.Schema), raw)
 	})
-	mux.Handle(Service, "insert", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in InsertArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "insert", func(_ context.Context, in *InsertArgs) (any, error) {
 		pk, err := loadPK(in.Schema)
 		if err != nil {
 			return nil, err
 		}
 		return nil, ssesophos.NewServer(store, in.Schema, pk).Insert(in.Entries)
 	})
-	mux.Handle(Service, "search", func(_ context.Context, payload json.RawMessage) (any, error) {
-		var in SearchArgs
-		if err := json.Unmarshal(payload, &in); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(mux, Service, "search", func(_ context.Context, in *SearchArgs) (any, error) {
 		pk, err := loadPK(in.Schema)
 		if err != nil {
 			return nil, err
@@ -327,7 +315,7 @@ func RegisterCloud(mux *transport.Mux, store *kvstore.Store) {
 		if err != nil {
 			return nil, err
 		}
-		return SearchReply{IDs: ids}, nil
+		return &SearchReply{IDs: ids}, nil
 	})
 }
 

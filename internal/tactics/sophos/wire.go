@@ -1,0 +1,53 @@
+// Typed wire codecs (codec v2) for the Sophos SSE tactic. The setup RPC
+// (RSA public key, once per schema) stays JSON — only the hot insert and
+// search paths get binary framing.
+
+package sophos
+
+import (
+	ssesophos "datablinder/internal/sse/sophos"
+	"datablinder/internal/transport"
+	"datablinder/internal/wirefmt"
+)
+
+func init() {
+	transport.RegisterCodec(Service, "insert", transport.WriteCodec(
+		func(b []byte, a *InsertArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendUvarint(b, uint64(len(a.Entries)))
+			for _, e := range a.Entries {
+				b = wirefmt.AppendBytes(b, e.Addr)
+				b = wirefmt.AppendBytes(b, e.Val)
+			}
+			return b
+		},
+		func(r *wirefmt.Reader, a *InsertArgs) {
+			a.Schema = r.String()
+			n := r.Count()
+			if n == 0 {
+				return
+			}
+			a.Entries = make([]ssesophos.Entry, n)
+			for i := range a.Entries {
+				a.Entries[i].Addr = r.Bytes()
+				a.Entries[i].Val = r.Bytes()
+			}
+		},
+	))
+	transport.RegisterCodec(Service, "search", transport.Codec(
+		func(b []byte, a *SearchArgs) []byte {
+			b = wirefmt.AppendString(b, a.Schema)
+			b = wirefmt.AppendBytes(b, a.Token.KeywordKey)
+			b = wirefmt.AppendBytes(b, a.Token.ST)
+			return wirefmt.AppendUvarint(b, a.Token.Count)
+		},
+		func(r *wirefmt.Reader, a *SearchArgs) {
+			a.Schema = r.String()
+			a.Token.KeywordKey = r.Bytes()
+			a.Token.ST = r.Bytes()
+			a.Token.Count = r.Uvarint()
+		},
+		func(b []byte, out *SearchReply) []byte { return wirefmt.AppendStrings(b, out.IDs) },
+		func(r *wirefmt.Reader, out *SearchReply) { out.IDs = r.Strings() },
+	))
+}

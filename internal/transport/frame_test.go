@@ -26,11 +26,11 @@ func TestFrameRoundTripQuick(t *testing.T) {
 			in.Payload = raw
 		}
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, in); err != nil {
+		if _, err := writeFrame(&buf, in); err != nil {
 			return false
 		}
 		var out request
-		if err := readFrame(&buf, &out); err != nil {
+		if _, err := readFrame(&buf, &out); err != nil {
 			return false
 		}
 		return out.ID == in.ID && out.Service == in.Service && out.Method == in.Method &&
@@ -46,14 +46,14 @@ func TestFrameRejectsOversize(t *testing.T) {
 		Data []byte `json:"data"`
 	}{Data: make([]byte, MaxFrameSize)}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, big); err != ErrFrameTooLarge {
+	if _, err := writeFrame(&buf, big); err != ErrFrameTooLarge {
 		t.Fatalf("writeFrame(oversize) = %v", err)
 	}
 	// A header that promises too much is rejected on read.
 	buf.Reset()
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	var v request
-	if err := readFrame(&buf, &v); err != ErrFrameTooLarge {
+	if _, err := readFrame(&buf, &v); err != ErrFrameTooLarge {
 		t.Fatalf("readFrame(oversize header) = %v", err)
 	}
 }

@@ -19,12 +19,12 @@ func TestFramePoolReuseKeepsPayloadsIntact(t *testing.T) {
 	for i := 0; i < frames; i++ {
 		payload, _ := json.Marshal(map[string]int{"seq": i})
 		in := &request{ID: uint64(i), Service: "svc", Method: "m", Payload: payload}
-		if err := writeFrame(&buf, in); err != nil {
+		if _, err := writeFrame(&buf, in); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < frames; i++ {
-		if err := readFrame(&buf, &reqs[i]); err != nil {
+		if _, err := readFrame(&buf, &reqs[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -50,12 +50,12 @@ func TestFramePoolConcurrent(t *testing.T) {
 			var buf bytes.Buffer
 			for i := 0; i < 200; i++ {
 				in := &request{ID: uint64(g*1000 + i), Service: "s", Method: "m"}
-				if err := writeFrame(&buf, in); err != nil {
+				if _, err := writeFrame(&buf, in); err != nil {
 					t.Errorf("writeFrame: %v", err)
 					return
 				}
 				var out request
-				if err := readFrame(&buf, &out); err != nil {
+				if _, err := readFrame(&buf, &out); err != nil {
 					t.Errorf("readFrame: %v", err)
 					return
 				}
@@ -75,7 +75,7 @@ func BenchmarkFrameWrite(b *testing.B) {
 	req := &request{ID: 7, Service: "det", Method: "add", Payload: payload}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := writeFrame(io.Discard, req); err != nil {
+		if _, err := writeFrame(io.Discard, req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -89,11 +89,11 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf.Reset()
-		if err := writeFrame(&buf, req); err != nil {
+		if _, err := writeFrame(&buf, req); err != nil {
 			b.Fatal(err)
 		}
 		var out request
-		if err := readFrame(&buf, &out); err != nil {
+		if _, err := readFrame(&buf, &out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -196,13 +196,18 @@ func TestMidCallSocketKill(t *testing.T) {
 				defer conn.Close()
 				for {
 					var req request
-					if err := readFrame(conn, &req); err != nil {
+					if _, err := readFrame(conn, &req); err != nil {
 						return
+					}
+					if req.Service == wireService {
+						// A v1 server pinned to JSON framing.
+						writeFrame(conn, &response{ID: req.ID, OK: true, Payload: []byte(`{"version":1}`)})
+						continue
 					}
 					if n == 1 {
 						return // kill the socket with the call pending
 					}
-					_ = writeFrame(conn, &response{ID: req.ID, OK: true, Payload: req.Payload})
+					writeFrame(conn, &response{ID: req.ID, OK: true, Payload: req.Payload})
 				}
 			}(conn, n)
 		}

@@ -7,6 +7,19 @@ import (
 	"time"
 )
 
+// answerHello consumes the client's codec-negotiation frame and pins the
+// socket to v1 JSON framing, emulating a pre-v2 server build.
+func answerHello(conn net.Conn, req *request) bool {
+	if _, err := readFrame(conn, req); err != nil {
+		return false
+	}
+	if req.Service != wireService {
+		return false
+	}
+	_, err := writeFrame(conn, &response{ID: req.ID, OK: true, Payload: []byte(`{"version":1}`)})
+	return err == nil
+}
+
 // TestCallReplaysOnceAfterMidFlightDeath kills the server side of the
 // socket after the request frame is already written but before any reply,
 // with a healthy server behind the same address for the redial. The call
@@ -28,8 +41,10 @@ func TestCallReplaysOnceAfterMidFlightDeath(t *testing.T) {
 			return
 		}
 		var req request
-		if err := readFrame(conn, &req); err == nil {
-			served <- 1
+		if answerHello(conn, &req) {
+			if _, err := readFrame(conn, &req); err == nil {
+				served <- 1
+			}
 		}
 		conn.Close()
 
@@ -39,7 +54,10 @@ func TestCallReplaysOnceAfterMidFlightDeath(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		if err := readFrame(conn, &req); err != nil {
+		if !answerHello(conn, &req) {
+			return
+		}
+		if _, err := readFrame(conn, &req); err != nil {
 			return
 		}
 		served <- 2
@@ -82,6 +100,10 @@ func TestCallSurfacesOriginalErrorWhenRedialFails(t *testing.T) {
 	go func() {
 		conn, err := ln.Accept()
 		if err != nil {
+			return
+		}
+		var req request
+		if !answerHello(conn, &req) {
 			return
 		}
 		accepted <- conn

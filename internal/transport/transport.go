@@ -17,6 +17,7 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
@@ -29,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datablinder/internal/wirefmt"
 )
 
 // MaxFrameSize bounds a single request or response frame (16 MiB). Frames
@@ -115,6 +118,14 @@ type response struct {
 // response payload.
 type Handler func(ctx context.Context, payload json.RawMessage) (any, error)
 
+// handlerEntry is one registered method: the JSON-payload handler plus,
+// for HandleTyped registrations, a decoded-args fast path that lets codec
+// v2 requests skip JSON entirely on the server side.
+type handlerEntry struct {
+	h     Handler
+	typed func(ctx context.Context, args any) (any, error)
+}
+
 // Mux routes service.method names to handlers. The zero value is unusable;
 // construct with NewMux. Handle calls must complete before Serve starts.
 //
@@ -122,13 +133,13 @@ type Handler func(ctx context.Context, payload json.RawMessage) (any, error)
 // sub-requests received in one frame (see CallBatch).
 type Mux struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]*handlerEntry
 }
 
 // NewMux returns an empty router (plus the built-in batch executor).
 func NewMux() *Mux {
-	m := &Mux{handlers: make(map[string]Handler)}
-	m.handlers[BatchService+"."+BatchMethod] = m.execBatch
+	m := &Mux{handlers: make(map[string]*handlerEntry)}
+	m.handlers[BatchService+"."+BatchMethod] = &handlerEntry{h: m.execBatch}
 	return m
 }
 
@@ -136,7 +147,42 @@ func NewMux() *Mux {
 func (m *Mux) Handle(service, method string, h Handler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.handlers[service+"."+method] = h
+	m.handlers[service+"."+method] = &handlerEntry{h: h}
+}
+
+// HandleTyped registers fn for service.method with both payload paths: a
+// JSON handler (v1 sockets, cold escape hatch) and a decoded-args handler
+// that the binary codec dispatches to directly, so hot RPCs never touch
+// encoding/json on the server.
+func HandleTyped[A any](m *Mux, service, method string, fn func(ctx context.Context, args *A) (any, error)) {
+	entry := &handlerEntry{
+		h: func(ctx context.Context, payload json.RawMessage) (any, error) {
+			args := new(A)
+			if len(payload) > 0 {
+				if err := json.Unmarshal(payload, args); err != nil {
+					return nil, fmt.Errorf("transport: decoding %s.%s args: %w", service, method, err)
+				}
+			}
+			return fn(ctx, args)
+		},
+		typed: func(ctx context.Context, args any) (any, error) {
+			a, ok := args.(*A)
+			if !ok {
+				return nil, fmt.Errorf("transport: %s.%s: unexpected args type %T", service, method, args)
+			}
+			return fn(ctx, a)
+		},
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[service+"."+method] = entry
+}
+
+// lookup returns the entry for name, or nil.
+func (m *Mux) lookup(name string) *handlerEntry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.handlers[name]
 }
 
 // Services returns the registered service.method names, unordered.
@@ -155,13 +201,11 @@ func (m *Mux) Services() []string {
 }
 
 func (m *Mux) dispatch(ctx context.Context, req *request) *response {
-	m.mu.RLock()
-	h, ok := m.handlers[req.Service+"."+req.Method]
-	m.mu.RUnlock()
-	if !ok {
+	entry := m.lookup(req.Service + "." + req.Method)
+	if entry == nil {
 		return &response{ID: req.ID, Error: fmt.Sprintf("%v: %s.%s", ErrNoHandler, req.Service, req.Method)}
 	}
-	result, err := h(ctx, req.Payload)
+	result, err := entry.h(ctx, req.Payload)
 	if err != nil {
 		return &response{ID: req.ID, Error: err.Error(), Code: ErrorCode(err)}
 	}
@@ -195,8 +239,9 @@ var (
 	bodyPool   = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 )
 
-// writeFrame writes one length-prefixed JSON value as a single Write.
-func writeFrame(w io.Writer, v any) error {
+// writeFrame writes one length-prefixed JSON value as a single Write and
+// returns the frame size in bytes.
+func writeFrame(w io.Writer, v any) (int, error) {
 	buf := encBufPool.Get().(*bytes.Buffer)
 	defer func() {
 		if buf.Cap() <= maxPooledBuf {
@@ -206,28 +251,29 @@ func writeFrame(w io.Writer, v any) error {
 	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		return fmt.Errorf("transport: encoding frame: %w", err)
+		return 0, fmt.Errorf("transport: encoding frame: %w", err)
 	}
 	frame := buf.Bytes()
 	frame = frame[:len(frame)-1] // drop the Encoder's trailing newline
 	body := frame[4:]
 	if len(body) > MaxFrameSize {
-		return ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-	_, err := w.Write(frame)
-	return err
+	n, err := w.Write(frame)
+	return n, err
 }
 
-// readFrame reads one length-prefixed JSON value into v.
-func readFrame(r io.Reader, v any) error {
+// readFrame reads one length-prefixed JSON value into v and returns the
+// frame size in bytes.
+func readFrame(r io.Reader, v any) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	bp := bodyPool.Get().(*[]byte)
 	if cap(*bp) < int(n) {
@@ -241,12 +287,12 @@ func readFrame(r io.Reader, v any) error {
 		}
 	}()
 	if _, err := io.ReadFull(r, body); err != nil {
-		return err
+		return 0, err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("transport: decoding frame: %w", err)
+		return 0, fmt.Errorf("transport: decoding frame: %w", err)
 	}
-	return nil
+	return 4 + int(n), nil
 }
 
 // DefaultMaxInFlight is the default per-server bound on concurrently
@@ -263,6 +309,12 @@ type Server struct {
 	// MaxInFlight bounds concurrently executing handlers across all
 	// connections (DefaultMaxInFlight if zero). Set before Listen.
 	MaxInFlight int
+
+	// DisableBinary makes the server answer `_wire.hello` with version 1,
+	// pinning every connection to the v1 JSON framing. Set before Listen.
+	// Used to run JSON-only shards in mixed-version fleets and in A/B
+	// benchmarks.
+	DisableBinary bool
 
 	sem    chan struct{}
 	ctx    context.Context
@@ -339,11 +391,28 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Responses from concurrent workers interleave on the socket; writeMu
 	// keeps individual frames atomic.
 	var writeMu sync.Mutex
+	br := bufio.NewReaderSize(conn, 32<<10)
 	for {
 		var req request
-		if err := readFrame(conn, &req); err != nil {
+		n, err := readFrame(br, &req)
+		if err != nil {
 			return // EOF, broken frame, or peer reset: drop the connection
 		}
+		// The negotiation request is intercepted before dispatch: a v2
+		// client sends it as the first (and only pre-negotiation) frame on
+		// a fresh socket, and on acceptance the very next frame is binary.
+		if req.Service == wireService && req.Method == wireHelloMethod {
+			table, switched, err := s.acceptHello(conn, &writeMu, &req)
+			if err != nil {
+				return
+			}
+			if switched {
+				s.serveBinary(conn, br, &writeMu, table)
+				return
+			}
+			continue
+		}
+		wireRecordFrame(req.Service+"."+req.Method, "json", false, n)
 		select {
 		case s.sem <- struct{}{}:
 		case <-s.ctx.Done():
@@ -355,12 +424,99 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer func() { <-s.sem }()
 			resp := s.mux.dispatch(s.ctx, &req)
 			writeMu.Lock()
-			err := writeFrame(conn, resp)
+			n, err := writeFrame(conn, resp)
 			writeMu.Unlock()
 			if err != nil {
 				conn.Close() // wakes the read loop; connection is torn down
+				return
 			}
+			wireRecordFrame(req.Service+"."+req.Method, "json", true, n)
 		}(req)
+	}
+}
+
+// acceptHello answers a `_wire.hello`. With binary framing enabled it
+// accepts the intersection of the client's proposal and the local codec
+// registry and reports switched=true; the caller must then read binary
+// frames. With DisableBinary (or an unintelligible proposal) it answers
+// version 1 and the connection stays on JSON.
+func (s *Server) acceptHello(conn net.Conn, writeMu *sync.Mutex, req *request) (*wireTable, bool, error) {
+	var args helloArgs
+	reply := helloReply{Version: 1}
+	var table *wireTable
+	if !s.DisableBinary && json.Unmarshal(req.Payload, &args) == nil && args.Version >= wireVersion {
+		accept := acceptIndexes(args.Methods)
+		if t, err := newWireTable(args.Methods, accept); err == nil {
+			table = t
+			reply = helloReply{Version: wireVersion, Accept: accept}
+		}
+	}
+	payload, err := json.Marshal(reply)
+	if err != nil {
+		return nil, false, err
+	}
+	writeMu.Lock()
+	_, werr := writeFrame(conn, &response{ID: req.ID, OK: true, Payload: payload})
+	writeMu.Unlock()
+	if werr != nil {
+		return nil, false, werr
+	}
+	return table, table != nil, nil
+}
+
+// serveBinary is the post-negotiation read loop: varint-framed binary
+// requests, each dispatched on its own bounded goroutine like the v1 loop.
+// A malformed frame (bad envelope, unknown method id) drops the
+// connection; per-call handler errors travel back as error results.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader, writeMu *sync.Mutex, table *wireTable) {
+	for {
+		body, err := readWireFrame(br)
+		if err != nil {
+			return
+		}
+		r := wirefmt.NewReader(body)
+		if kind := r.Byte(); kind != wireKindReq {
+			return
+		}
+		id := r.Uvarint()
+		call, cerr := parseCall(r, table)
+		if cerr != nil || r.Finish() != nil {
+			return
+		}
+		wireRecordFrame(call.name, "binary", false, len(body)+uvarintLen(uint64(len(body))))
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.ctx.Done():
+			return
+		}
+		s.wg.Add(1)
+		go func(id uint64, call parsedCall) {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			buf := newWireFrameBuf()
+			buf = append(buf, wireKindResp)
+			buf = binary.AppendUvarint(buf, id)
+			buf = wireExec(s.ctx, s.mux, table, buf, call, true)
+			frame, ferr := finishWireFrame(buf)
+			if ferr != nil {
+				// Response too large for one frame: report instead of
+				// killing the connection.
+				buf = buf[:wireFrameHdr]
+				buf = append(buf, wireKindResp)
+				buf = binary.AppendUvarint(buf, id)
+				buf = appendResultErr(buf, "", ferr.Error())
+				frame, _ = finishWireFrame(buf)
+			}
+			writeMu.Lock()
+			_, werr := conn.Write(frame)
+			writeMu.Unlock()
+			putWireFrameBuf(buf)
+			if werr != nil {
+				conn.Close()
+				return
+			}
+			wireRecordFrame(call.name, "binary", true, len(frame))
+		}(id, call)
 	}
 }
 
@@ -386,16 +542,31 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// clientResp is the codec-neutral form of one response, as delivered to a
+// pending call by either read loop.
+type clientResp struct {
+	ok      bool
+	enc     byte
+	payload []byte // owned by the caller
+	code    string
+	msg     string
+}
+
 // pending is one in-flight call awaiting its response.
 type pending struct {
-	ch chan *response // buffered(1); the reader delivers exactly once
+	method string           // for frame accounting in the read loop
+	ch     chan *clientResp // buffered(1); the reader delivers exactly once
 }
 
 // msock is one multiplexed client socket: a single writer-side mutex
 // serializes frame writes, a dedicated reader goroutine correlates
-// responses to pending calls by request id.
+// responses to pending calls by request id. table is the codec negotiated
+// for this socket at dial time (nil: v1 JSON framing); it is immutable
+// once the read loop starts.
 type msock struct {
 	c       net.Conn
+	br      *bufio.Reader
+	table   *wireTable
 	writeMu sync.Mutex
 
 	mu     sync.Mutex
@@ -405,27 +576,107 @@ type msock struct {
 	closed bool
 }
 
-func newMsock(c net.Conn) *msock {
-	m := &msock{c: c, calls: make(map[uint64]*pending), dead: make(chan struct{})}
+// newMsock wraps a freshly dialed socket. With negotiate set it performs
+// the `_wire.hello` exchange synchronously before the socket is handed to
+// callers (the socket is unpublished, so no other frames can interleave);
+// a server without v2 simply leaves the socket on JSON. timeout bounds the
+// exchange.
+func newMsock(c net.Conn, negotiate bool, timeout time.Duration) (*msock, error) {
+	m := &msock{c: c, br: bufio.NewReaderSize(c, 32<<10), calls: make(map[uint64]*pending), dead: make(chan struct{})}
+	if negotiate {
+		if err := m.clientHello(timeout); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	go m.readLoop()
-	return m
+	return m, nil
+}
+
+// clientHello proposes codec v2 and switches the socket to binary framing
+// if the server accepts. Handler-level failures (old server: "no handler";
+// pinned server: version 1) leave the socket on JSON; only transport
+// failures are errors.
+func (m *msock) clientHello(timeout time.Duration) error {
+	proposal := RegisteredWireMethods()
+	payload, err := json.Marshal(helloArgs{Version: wireVersion, Methods: proposal})
+	if err != nil {
+		return err
+	}
+	if err := m.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	defer m.c.SetDeadline(time.Time{})
+	if _, err := writeFrame(m.c, &request{ID: 1, Service: wireService, Method: wireHelloMethod, Payload: payload}); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	var resp response
+	if _, err := readFrame(m.br, &resp); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	if !resp.OK {
+		return nil // server predates _wire.hello: stay on JSON
+	}
+	var reply helloReply
+	if json.Unmarshal(resp.Payload, &reply) != nil || reply.Version < wireVersion {
+		return nil
+	}
+	table, err := newWireTable(proposal, reply.Accept)
+	if err != nil {
+		// The server accepted nonsense; JSON still works.
+		return nil
+	}
+	m.table = table
+	return nil
 }
 
 // readLoop delivers responses until the socket fails, then drains every
 // pending call with the terminal error.
 func (m *msock) readLoop() {
+	codec := "json"
+	if m.table != nil {
+		codec = "binary"
+	}
 	for {
-		var resp response
-		if err := readFrame(m.c, &resp); err != nil {
-			m.fail(fmt.Errorf("transport: read: %w", err))
-			return
+		var (
+			id   uint64
+			cr   clientResp
+			size int
+		)
+		if m.table != nil {
+			body, err := readWireFrame(m.br)
+			if err != nil {
+				m.fail(fmt.Errorf("transport: read: %w", err))
+				return
+			}
+			r := wirefmt.NewReader(body)
+			kind := r.Byte()
+			id = r.Uvarint()
+			res, perr := parseResult(r)
+			if kind != wireKindResp || perr != nil || r.Finish() != nil {
+				m.fail(fmt.Errorf("%w: bad response frame", ErrWireProtocol))
+				return
+			}
+			cr = clientResp{ok: res.ok, enc: res.enc, payload: res.payload, code: res.code, msg: res.msg}
+			size = len(body) + uvarintLen(uint64(len(body)))
+		} else {
+			var resp response
+			n, err := readFrame(m.br, &resp)
+			if err != nil {
+				m.fail(fmt.Errorf("transport: read: %w", err))
+				return
+			}
+			id = resp.ID
+			cr = clientResp{ok: resp.OK, enc: encJSON, payload: resp.Payload, code: resp.Code, msg: resp.Error}
+			size = n
 		}
 		m.mu.Lock()
-		p := m.calls[resp.ID]
-		delete(m.calls, resp.ID)
+		p := m.calls[id]
+		delete(m.calls, id)
 		m.mu.Unlock()
 		if p != nil {
-			p.ch <- &resp // buffered; never blocks
+			wireRecordFrame(p.method, codec, false, size)
+			p.ch <- &cr // buffered; never blocks
 		}
 		// No pending entry: the caller gave up (timeout/cancel); the
 		// response is discarded and the socket stays usable.
@@ -483,11 +734,17 @@ type socketSlot struct {
 // without serializing them. Additional sockets only add TCP-level
 // parallelism (congestion windows, kernel buffers).
 type TCPClient struct {
-	addr    string
-	timeout time.Duration
+	addr      string
+	timeout   time.Duration
+	negotiate bool // propose codec v2 on fresh sockets
 
 	nextID uint64 // atomic; request ids unique across the pool
 	rr     uint32 // atomic round-robin cursor
+
+	// table is the most recently negotiated codec table (nil: JSON). Used
+	// for client-level size accounting (ConnCodec); each socket pins its
+	// own copy at dial time.
+	table atomic.Pointer[wireTable]
 
 	mu    sync.Mutex
 	slots []*socketSlot
@@ -501,6 +758,9 @@ type DialOptions struct {
 	PoolSize int
 	// Timeout bounds each dial and each call round trip (default 30s).
 	Timeout time.Duration
+	// DisableBinary skips codec v2 negotiation and pins the client to the
+	// v1 JSON framing (mixed-version testing, A/B benchmarks).
+	DisableBinary bool
 }
 
 // Dial connects to a Server at addr.
@@ -512,9 +772,10 @@ func Dial(addr string, opts DialOptions) (*TCPClient, error) {
 		opts.Timeout = 30 * time.Second
 	}
 	c := &TCPClient{
-		addr:    addr,
-		timeout: opts.Timeout,
-		slots:   make([]*socketSlot, opts.PoolSize),
+		addr:      addr,
+		timeout:   opts.Timeout,
+		negotiate: !opts.DisableBinary,
+		slots:     make([]*socketSlot, opts.PoolSize),
 	}
 	for i := range c.slots {
 		c.slots[i] = &socketSlot{}
@@ -525,8 +786,21 @@ func Dial(addr string, opts DialOptions) (*TCPClient, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	c.slots[0].cur = newMsock(sock)
+	m, err := newMsock(sock, c.negotiate, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.slots[0].cur = m
+	c.table.Store(m.table)
 	return c, nil
+}
+
+// WireCodec reports the codec of the most recently negotiated socket.
+func (c *TCPClient) WireCodec() WireCodec {
+	if t := c.table.Load(); t != nil {
+		return binaryWireCodec{table: t}
+	}
+	return jsonWireCodec{}
 }
 
 // acquire returns a healthy multiplexed socket for the next call, redialing
@@ -562,7 +836,12 @@ func (c *TCPClient) acquire() (*msock, error) {
 		return nil, ErrClosed
 	}
 	c.mu.Unlock()
-	slot.cur = newMsock(sock)
+	m, err := newMsock(sock, c.negotiate, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	slot.cur = m
+	c.table.Store(m.table)
 	return slot.cur, nil
 }
 
@@ -579,20 +858,12 @@ func (c *TCPClient) acquire() (*msock, error) {
 // request may still be executing server-side), and remote errors are
 // definitive answers, not transport failures.
 func (c *TCPClient) Call(ctx context.Context, service, method string, args, reply any) error {
-	var payload json.RawMessage
-	if args != nil {
-		b, err := json.Marshal(args)
-		if err != nil {
-			return fmt.Errorf("transport: encoding args: %w", err)
-		}
-		payload = b
-	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	resp, err, sockDead := c.roundTrip(ctx, service, method, payload)
+	resp, err, sockDead := c.roundTrip(ctx, service, method, args)
 	if sockDead && ctx.Err() == nil {
-		if resp2, err2, dead2 := c.roundTrip(ctx, service, method, payload); err2 == nil && !dead2 {
+		if resp2, err2, dead2 := c.roundTrip(ctx, service, method, args); err2 == nil && !dead2 {
 			resp, err = resp2, nil
 		}
 		// Replay failed: report the original failure, not the retry's.
@@ -600,34 +871,79 @@ func (c *TCPClient) Call(ctx context.Context, service, method string, args, repl
 	if err != nil {
 		return err
 	}
-	if !resp.OK {
-		return &RemoteError{Code: resp.Code, Msg: resp.Error}
+	if !resp.ok {
+		return &RemoteError{Code: resp.code, Msg: resp.msg}
 	}
-	if reply != nil && len(resp.Payload) > 0 {
-		if err := json.Unmarshal(resp.Payload, reply); err != nil {
-			return fmt.Errorf("transport: decoding reply: %w", err)
-		}
-	}
-	return nil
+	return decodeResultPayload(service+"."+method, resp.enc, resp.payload, reply)
 }
 
-// roundTrip sends one request and waits for its response. sockDead reports
-// that the failure was the socket dying under this call — the class of
-// error a single redial-and-replay can heal — as opposed to a timeout,
+// roundTrip sends one request and waits for its response, encoding args
+// per the acquired socket's negotiated codec (a replay after a redial may
+// therefore re-encode for a different codec). sockDead reports that the
+// failure was the socket dying under this call — the class of error a
+// single redial-and-replay can heal — as opposed to a timeout,
 // cancellation, client close, or a response that actually arrived.
-func (c *TCPClient) roundTrip(ctx context.Context, service, method string, payload json.RawMessage) (resp *response, err error, sockDead bool) {
+func (c *TCPClient) roundTrip(ctx context.Context, service, method string, args any) (resp *clientResp, err error, sockDead bool) {
 	m, err := c.acquire()
 	if err != nil {
 		return nil, err, false
 	}
 
+	name := service + "." + method
 	id := atomic.AddUint64(&c.nextID, 1)
-	req := &request{ID: id, Service: service, Method: method, Payload: payload}
-	p := &pending{ch: make(chan *response, 1)}
+	p := &pending{method: name, ch: make(chan *clientResp, 1)}
 	if err := m.register(id, p); err != nil {
 		// The socket died between acquire and register; same class as a
 		// write failure (unless the client itself was closed).
 		return nil, err, !errors.Is(err, ErrClosed)
+	}
+
+	// Encode the full frame outside the write lock. The payload is copied
+	// into the frame buffer right here, so the typed encode can run in a
+	// pooled scratch buffer instead of allocating per call.
+	var (
+		frame   []byte
+		buf     []byte
+		req     *request
+		codec   = "json"
+		payload []byte
+		enc     byte
+	)
+	var scratch []byte
+	if m.table != nil {
+		scratch = (*wireBufPool.Get().(*[]byte))[:0]
+	}
+	var fromScratch bool
+	payload, enc, fromScratch, err = encodeArgsScratch(scratch, m.table, service, method, args)
+	recycleScratch := func() {
+		if fromScratch {
+			putWireFrameBuf(payload) // scratch, possibly grown
+		} else if scratch != nil {
+			putWireFrameBuf(scratch)
+		}
+	}
+	if err != nil {
+		recycleScratch()
+		m.deregister(id)
+		return nil, err, false
+	}
+	if m.table != nil {
+		codec = "binary"
+		buf = newWireFrameBuf()
+		buf = append(buf, wireKindReq)
+		buf = binary.AppendUvarint(buf, id)
+		buf = appendCall(buf, m.table, name, enc, payload)
+		recycleScratch()
+		frame, err = finishWireFrame(buf)
+		if err != nil {
+			putWireFrameBuf(buf)
+			m.deregister(id)
+			return nil, err, false
+		}
+	} else {
+		// v1 JSON framing: the payload rides in the request struct until
+		// writeFrame copies it out, so nothing to recycle (scratch is nil).
+		req = &request{ID: id, Service: service, Method: method, Payload: payload}
 	}
 
 	// Frame writes are short; bound them so a wedged peer cannot hold the
@@ -635,10 +951,18 @@ func (c *TCPClient) roundTrip(ctx context.Context, service, method string, paylo
 	// never socket-wide: a slow response must not fail its neighbours.
 	m.writeMu.Lock()
 	werr := m.c.SetWriteDeadline(time.Now().Add(c.timeout))
+	n := 0
 	if werr == nil {
-		werr = writeFrame(m.c, req)
+		if req != nil {
+			n, werr = writeFrame(m.c, req)
+		} else {
+			n, werr = m.c.Write(frame)
+		}
 	}
 	m.writeMu.Unlock()
+	if buf != nil {
+		putWireFrameBuf(buf)
+	}
 	if werr != nil {
 		m.deregister(id)
 		// A half-written frame poisons the stream for every call on the
@@ -646,6 +970,7 @@ func (c *TCPClient) roundTrip(ctx context.Context, service, method string, paylo
 		m.fail(fmt.Errorf("transport: write: %w", werr))
 		return nil, fmt.Errorf("transport: write: %w", werr), true
 	}
+	wireRecordFrame(name, codec, true, n)
 
 	timer := time.NewTimer(c.timeout)
 	defer timer.Stop()
@@ -690,21 +1015,49 @@ func (c *TCPClient) Close() error {
 	return nil
 }
 
-// Loopback is a Conn that dispatches directly into a Mux in-process, still
-// passing every payload through JSON so serialization behaviour matches the
-// TCP path exactly. It is used by benchmarks (scenario S_B/S_C single-host
-// runs) and tests. Calls dispatch on the caller's goroutine, so it is as
-// concurrent as its callers.
+// Loopback is a Conn that dispatches directly into a Mux in-process,
+// routing every payload through the active wire codec so serialization
+// behaviour matches the TCP path exactly: with codec v2 (the default, as
+// on TCP) hot payloads are binary-encoded and re-decoded on dispatch; with
+// NewLoopbackJSON they pass through JSON like a v1 socket. It is used by
+// benchmarks (scenario S_B/S_C single-host runs) and tests. Calls dispatch
+// on the caller's goroutine, so it is as concurrent as its callers.
 type Loopback struct {
-	mux *Mux
+	mux   *Mux
+	table *wireTable // nil: JSON semantics
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewLoopback returns a loopback connection to mux.
+// NewLoopback returns a loopback connection to mux with binary-codec
+// semantics (what a freshly dialed TCP socket negotiates).
 func NewLoopback(mux *Mux) *Loopback {
+	// The "negotiation": every registered codec method is in the table.
+	proposal := RegisteredWireMethods()
+	accept := make([]int, len(proposal))
+	for i := range accept {
+		accept[i] = i
+	}
+	table, err := newWireTable(proposal, accept)
+	if err != nil {
+		table = nil // unreachable: proposal comes from the registry
+	}
+	return &Loopback{mux: mux, table: table}
+}
+
+// NewLoopbackJSON returns a loopback connection pinned to v1 JSON payload
+// semantics (what a socket negotiates against a JSON-only peer).
+func NewLoopbackJSON(mux *Mux) *Loopback {
 	return &Loopback{mux: mux}
+}
+
+// WireCodec reports the loopback's codec.
+func (l *Loopback) WireCodec() WireCodec {
+	if l.table != nil {
+		return binaryWireCodec{table: l.table}
+	}
+	return jsonWireCodec{}
 }
 
 // Call implements Conn.
@@ -718,24 +1071,37 @@ func (l *Loopback) Call(ctx context.Context, service, method string, args, reply
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	var payload json.RawMessage
-	if args != nil {
-		b, err := json.Marshal(args)
-		if err != nil {
-			return fmt.Errorf("transport: encoding args: %w", err)
+	payload, enc, err := encodeArgsPayload(l.table, service, method, args)
+	if err != nil {
+		return err
+	}
+	if l.table == nil {
+		resp := l.mux.dispatch(ctx, &request{ID: 1, Service: service, Method: method, Payload: payload})
+		if !resp.OK {
+			return &RemoteError{Code: resp.Code, Msg: resp.Error}
 		}
-		payload = b
-	}
-	resp := l.mux.dispatch(ctx, &request{ID: 1, Service: service, Method: method, Payload: payload})
-	if !resp.OK {
-		return &RemoteError{Code: resp.Code, Msg: resp.Error}
-	}
-	if reply != nil && len(resp.Payload) > 0 {
-		if err := json.Unmarshal(resp.Payload, reply); err != nil {
-			return fmt.Errorf("transport: decoding reply: %w", err)
+		if reply != nil && len(resp.Payload) > 0 {
+			if err := json.Unmarshal(resp.Payload, reply); err != nil {
+				return fmt.Errorf("transport: decoding reply: %w", err)
+			}
 		}
+		return nil
 	}
-	return nil
+	name := service + "." + method
+	call := parsedCall{name: name, enc: enc, payload: payload}
+	if enc == encTyped {
+		call.codec = LookupCodec(name)
+	}
+	body := wireExec(ctx, l.mux, l.table, nil, call, true)
+	r := wirefmt.NewReader(body)
+	res, perr := parseResult(r)
+	if perr != nil || r.Finish() != nil {
+		return fmt.Errorf("%w: loopback result", ErrWireProtocol)
+	}
+	if !res.ok {
+		return &RemoteError{Code: res.code, Msg: res.msg}
+	}
+	return decodeResultPayload(name, res.enc, res.payload, reply)
 }
 
 // Close implements Conn.

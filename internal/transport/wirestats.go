@@ -1,0 +1,229 @@
+// Wire-level observability: per-service.method byte/frame/time counters
+// split by codec, published as expvar "datablinder_wire" (visible on the
+// -pprof listener next to datablinder_coalesce). Codec wins are thereby
+// observable in production, not just in benches, and the mixed-version
+// e2e asserts on the per-codec frame counts.
+
+package transport
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// methodWireCounters accumulates one service.method's wire activity.
+// Frame counts and bytes are recorded at the socket (a batch frame is
+// billed to _batch.exec); encode/decode nanoseconds are recorded at the
+// typed payload codecs, including per-sub-call work inside batches.
+type methodWireCounters struct {
+	mu        sync.Mutex
+	framesOut uint64
+	framesIn  uint64
+	bytesOut  uint64
+	bytesIn   uint64
+	encodeNs  uint64
+	decodeNs  uint64
+}
+
+// codecWireCounters accumulates frame/byte totals for one codec ("json"
+// or "binary") across all methods.
+type codecWireCounters struct {
+	mu     sync.Mutex
+	frames uint64
+	bytes  uint64
+}
+
+var (
+	wireStatsMu      sync.RWMutex
+	wireMethodStats  = make(map[string]*methodWireCounters)
+	wireCodecStats   = make(map[string]*codecWireCounters)
+	wireStatsEnabled = true
+)
+
+// SetWireStats toggles wire counter collection (benchmark isolation).
+func SetWireStats(enabled bool) {
+	wireStatsMu.Lock()
+	wireStatsEnabled = enabled
+	wireStatsMu.Unlock()
+}
+
+// ResetWireStats clears all counters (tests and A/B bench arms).
+func ResetWireStats() {
+	wireStatsMu.Lock()
+	wireMethodStats = make(map[string]*methodWireCounters)
+	wireCodecStats = make(map[string]*codecWireCounters)
+	wireStatsMu.Unlock()
+}
+
+func wireMethod(name string) *methodWireCounters {
+	wireStatsMu.RLock()
+	c, ok := wireMethodStats[name]
+	enabled := wireStatsEnabled
+	wireStatsMu.RUnlock()
+	if !enabled {
+		return nil
+	}
+	if ok {
+		return c
+	}
+	wireStatsMu.Lock()
+	if c, ok = wireMethodStats[name]; !ok {
+		c = &methodWireCounters{}
+		wireMethodStats[name] = c
+	}
+	wireStatsMu.Unlock()
+	return c
+}
+
+func wireCodecCounters(codec string) *codecWireCounters {
+	wireStatsMu.RLock()
+	c, ok := wireCodecStats[codec]
+	enabled := wireStatsEnabled
+	wireStatsMu.RUnlock()
+	if !enabled {
+		return nil
+	}
+	if ok {
+		return c
+	}
+	wireStatsMu.Lock()
+	if c, ok = wireCodecStats[codec]; !ok {
+		c = &codecWireCounters{}
+		wireCodecStats[codec] = c
+	}
+	wireStatsMu.Unlock()
+	return c
+}
+
+// wireRecordFrame bills one frame to method under codec. out is true for
+// frames this process wrote (requests on clients, responses on servers).
+func wireRecordFrame(method, codec string, out bool, bytes int) {
+	if c := wireMethod(method); c != nil {
+		c.mu.Lock()
+		if out {
+			c.framesOut++
+			c.bytesOut += uint64(bytes)
+		} else {
+			c.framesIn++
+			c.bytesIn += uint64(bytes)
+		}
+		c.mu.Unlock()
+	}
+	if c := wireCodecCounters(codec); c != nil {
+		c.mu.Lock()
+		c.frames++
+		c.bytes += uint64(bytes)
+		c.mu.Unlock()
+	}
+}
+
+// wireRecordSub bills one batch sub-call's payload bytes to its own
+// method (frames stay with the enclosing _batch.exec).
+func wireRecordSub(method string, out bool, bytes int) {
+	if c := wireMethod(method); c != nil {
+		c.mu.Lock()
+		if out {
+			c.bytesOut += uint64(bytes)
+		} else {
+			c.bytesIn += uint64(bytes)
+		}
+		c.mu.Unlock()
+	}
+}
+
+func wireRecordEncode(method string, d time.Duration) {
+	if c := wireMethod(method); c != nil {
+		c.mu.Lock()
+		c.encodeNs += uint64(d.Nanoseconds())
+		c.mu.Unlock()
+	}
+}
+
+func wireRecordDecode(method string, d time.Duration) {
+	if c := wireMethod(method); c != nil {
+		c.mu.Lock()
+		c.decodeNs += uint64(d.Nanoseconds())
+		c.mu.Unlock()
+	}
+}
+
+// MethodWireStats is a snapshot of one method's counters.
+type MethodWireStats struct {
+	FramesOut uint64 `json:"frames_out"`
+	FramesIn  uint64 `json:"frames_in"`
+	BytesOut  uint64 `json:"bytes_out"`
+	BytesIn   uint64 `json:"bytes_in"`
+	EncodeNs  uint64 `json:"encode_ns"`
+	DecodeNs  uint64 `json:"decode_ns"`
+}
+
+// CodecWireStats is a snapshot of one codec's frame totals.
+type CodecWireStats struct {
+	Frames uint64 `json:"frames"`
+	Bytes  uint64 `json:"bytes"`
+}
+
+// WireStatsSnapshot is the full counter state, as published under the
+// "datablinder_wire" expvar.
+type WireStatsSnapshot struct {
+	Methods map[string]MethodWireStats `json:"methods"`
+	Codecs  map[string]CodecWireStats  `json:"codecs"`
+}
+
+// TotalBytes sums frame bytes across codecs (both directions).
+func (s WireStatsSnapshot) TotalBytes() uint64 {
+	var n uint64
+	for _, c := range s.Codecs {
+		n += c.Bytes
+	}
+	return n
+}
+
+// WireStats snapshots the wire counters.
+func WireStats() WireStatsSnapshot {
+	wireStatsMu.RLock()
+	defer wireStatsMu.RUnlock()
+	snap := WireStatsSnapshot{
+		Methods: make(map[string]MethodWireStats, len(wireMethodStats)),
+		Codecs:  make(map[string]CodecWireStats, len(wireCodecStats)),
+	}
+	for name, c := range wireMethodStats {
+		c.mu.Lock()
+		snap.Methods[name] = MethodWireStats{
+			FramesOut: c.framesOut, FramesIn: c.framesIn,
+			BytesOut: c.bytesOut, BytesIn: c.bytesIn,
+			EncodeNs: c.encodeNs, DecodeNs: c.decodeNs,
+		}
+		c.mu.Unlock()
+	}
+	for name, c := range wireCodecStats {
+		c.mu.Lock()
+		snap.Codecs[name] = CodecWireStats{Frames: c.frames, Bytes: c.bytes}
+		c.mu.Unlock()
+	}
+	return snap
+}
+
+func init() {
+	expvar.Publish("datablinder_wire", expvar.Func(func() any {
+		snap := WireStats()
+		// Stable method order for human eyes on /debug/vars.
+		names := make([]string, 0, len(snap.Methods))
+		for n := range snap.Methods {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ordered := make([]map[string]any, 0, len(names))
+		for _, n := range names {
+			m := snap.Methods[n]
+			ordered = append(ordered, map[string]any{
+				"method": n, "frames_out": m.FramesOut, "frames_in": m.FramesIn,
+				"bytes_out": m.BytesOut, "bytes_in": m.BytesIn,
+				"encode_ns": m.EncodeNs, "decode_ns": m.DecodeNs,
+			})
+		}
+		return map[string]any{"methods": ordered, "codecs": snap.Codecs}
+	}))
+}

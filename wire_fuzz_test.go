@@ -1,0 +1,89 @@
+package datablinder_test
+
+import (
+	"bytes"
+	"testing"
+
+	"datablinder/internal/transport"
+
+	// Codec registrations ride on package imports; the root package pulls
+	// in the cloud node and every tactic, so the full production codec set
+	// is visible here.
+	_ "datablinder/internal/cloud"
+	_ "datablinder/internal/tactics"
+)
+
+// FuzzPayloadCodecs feeds arbitrary bytes to every registered typed codec
+// (args and reply decoders). Malformed payloads must error without
+// panicking; payloads that decode must re-encode deterministically and
+// byte-identically (the coalescer dedups on encoded bytes, and encode
+// stability is what makes a decode→encode proxy hop lossless).
+func FuzzPayloadCodecs(f *testing.F) {
+	methods := transport.RegisteredWireMethods()
+	if len(methods) == 0 {
+		f.Fatal("no registered wire codecs — tactic imports missing")
+	}
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0x01, 0x61, 0x00, 0x00})
+	f.Add(2, bytes.Repeat([]byte{0xff}, 24))
+	f.Add(3, []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, pick int, data []byte) {
+		name := methods[abs(pick)%len(methods)]
+		codec := transport.LookupCodec(name)
+		if codec == nil {
+			t.Fatalf("codec %s vanished", name)
+		}
+
+		args := codec.NewArgs()
+		if codec.DecodeArgs(data, args) == nil {
+			enc1, err := codec.EncodeArgs(nil, args)
+			if err != nil {
+				t.Fatalf("%s: decoded args do not re-encode: %v", name, err)
+			}
+			args2 := codec.NewArgs()
+			if err := codec.DecodeArgs(enc1, args2); err != nil {
+				t.Fatalf("%s: re-encoded args do not decode: %v", name, err)
+			}
+			enc2, err := codec.EncodeArgs(nil, args2)
+			if err != nil {
+				t.Fatalf("%s: second encode failed: %v", name, err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("%s: encode not stable:\n  %x\n  %x", name, enc1, enc2)
+			}
+		}
+
+		if codec.EncodeReply == nil {
+			return
+		}
+		reply := codec.NewReply()
+		if codec.DecodeReply(data, reply) == nil {
+			enc1, err := codec.EncodeReply(nil, reply)
+			if err != nil {
+				t.Fatalf("%s: decoded reply does not re-encode: %v", name, err)
+			}
+			reply2 := codec.NewReply()
+			if err := codec.DecodeReply(enc1, reply2); err != nil {
+				t.Fatalf("%s: re-encoded reply does not decode: %v", name, err)
+			}
+			enc2, err := codec.EncodeReply(nil, reply2)
+			if err != nil {
+				t.Fatalf("%s: second reply encode failed: %v", name, err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("%s: reply encode not stable:\n  %x\n  %x", name, enc1, enc2)
+			}
+		}
+	})
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == -n { // math.MinInt
+			return 0
+		}
+		return -n
+	}
+	return n
+}
