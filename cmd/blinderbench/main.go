@@ -11,6 +11,7 @@
 //	blinderbench -experiment hotpath  # A/B the crypto hot-path caches
 //	blinderbench -experiment sharding # 1/2/4/8-shard cloud-tier scaling
 //	blinderbench -experiment coalesce # write-path group commit A/B
+//	blinderbench -experiment persist  # WAL vs text-AOF durability + recovery
 //	blinderbench -requests 151000 -users 1000   # the paper's full scale
 //
 // Each scenario runs against a fresh in-process cloud node over the
@@ -35,8 +36,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | coalesce | wire | all")
+	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | coalesce | wire | persist | all")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath experiment's JSON result")
+	persistOut := flag.String("persist-out", "BENCH_persist.json", "output path for the persist experiment's JSON result")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wire experiment's JSON result")
 	shardingOut := flag.String("sharding-out", "BENCH_sharding.json", "output path for the sharding experiment's JSON result")
 	coalesceOut := flag.String("coalesce-out", "BENCH_coalesce.json", "output path for the coalesce experiment's JSON result")
@@ -52,16 +54,35 @@ func main() {
 		}
 	})
 
-	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut, *coalesceOut, *wireOut); err != nil {
+	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut, *coalesceOut, *wireOut, *persistOut); err != nil {
 		log.Fatalf("blinderbench: %v", err)
 	}
 }
 
-func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut, coalesceOut, wireOut string) error {
+func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut, coalesceOut, wireOut, persistOut string) error {
 	switch experiment {
-	case "fig5", "latency", "concurrency", "hotpath", "sharding", "coalesce", "wire", "all":
+	case "fig5", "latency", "concurrency", "hotpath", "sharding", "coalesce", "wire", "persist", "all":
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, coalesce, wire, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, coalesce, wire, persist, or all)", experiment)
+	}
+
+	if experiment == "persist" || experiment == "all" {
+		cfg := bench.DefaultPersistConfig()
+		cfg.Seed = seed
+		fmt.Fprintf(os.Stderr, "running persist experiment (%d Set ops per cell, policies %v, callers %v, recovery over %d records)...\n",
+			cfg.Inserts, cfg.Policies, cfg.CallerCounts, cfg.RecoveryRecords)
+		r, err := bench.RunPersist(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatPersist(r))
+		if err := bench.WritePersistJSON(r, persistOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", persistOut)
+		if experiment == "persist" {
+			return nil
+		}
 	}
 
 	if experiment == "wire" || experiment == "all" {

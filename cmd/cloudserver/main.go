@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	cloudserver -listen 127.0.0.1:7700 [-shards 4] [-data ./cloud-data] [-pprof addr] [-max-inflight N]
+//	cloudserver -listen 127.0.0.1:7700 [-shards 4] [-data ./cloud-data] [-fsync always|interval|never] [-pprof addr] [-max-inflight N]
 //
-// With -data, the key-value index store persists to an append-only file
-// and the document store snapshots to JSON files on shutdown.
+// With -data, both stores persist through segmented binary write-ahead
+// logs with group-committed fsync and background snapshot compaction;
+// -fsync picks the durability policy (default "interval": at most the
+// last second of writes is lost to a crash). Pre-WAL data directories
+// (text index.aof, per-collection JSON snapshots) migrate automatically
+// on first start.
 //
 // With -shards N (N > 1), the process hosts N independent cloud nodes —
 // disjoint stores, one listener each — on consecutive ports starting at
@@ -37,6 +41,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "address to serve the gateway RPC protocol on (with -shards N, the first of N consecutive ports)")
 	shards := flag.Int("shards", 1, "number of independent cloud nodes to host (consecutive ports from -listen)")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval", "WAL durability policy: always (fsync per write, group-committed), interval (1s background), never")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	maxInFlight := flag.Int("max-inflight", transport.DefaultMaxInFlight, "per-connection cap on concurrently executing RPCs (coalesced gateway batches count as one)")
 	wireJSON := flag.Bool("wire-json", false, "answer codec negotiation with v1: every connection stays on JSON framing")
@@ -48,7 +53,7 @@ func main() {
 	}
 	defer stopPprof()
 
-	if err := run(*listen, *shards, *dataDir, *maxInFlight, *wireJSON); err != nil {
+	if err := run(*listen, *shards, *dataDir, *fsync, *maxInFlight, *wireJSON); err != nil {
 		log.Fatalf("cloudserver: %v", err)
 	}
 }
@@ -77,7 +82,7 @@ func shardAddrs(listen string, n int) ([]string, error) {
 	return addrs, nil
 }
 
-func run(listen string, shards int, dataDir string, maxInFlight int, wireJSON bool) error {
+func run(listen string, shards int, dataDir, fsync string, maxInFlight int, wireJSON bool) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
 	}
@@ -87,7 +92,7 @@ func run(listen string, shards int, dataDir string, maxInFlight int, wireJSON bo
 	}
 
 	for i, shardAddr := range addrs {
-		opts := cloud.Options{}
+		opts := cloud.Options{FsyncPolicy: fsync}
 		if dataDir != "" {
 			dir := dataDir
 			if shards > 1 {
@@ -96,7 +101,8 @@ func run(listen string, shards int, dataDir string, maxInFlight int, wireJSON bo
 			if err := os.MkdirAll(dir, 0o700); err != nil {
 				return fmt.Errorf("creating data dir: %w", err)
 			}
-			opts.KVPath = filepath.Join(dir, "index.aof")
+			// v1 layouts used <dir>/index.aof; cloud.NewNode migrates it.
+			opts.KVPath = filepath.Join(dir, "index")
 			opts.DocDir = filepath.Join(dir, "docs")
 		}
 		node, err := cloud.NewNode(opts)

@@ -47,7 +47,8 @@ func main() {
 	cloudAddr := flag.String("cloud", "127.0.0.1:7700", "cloudserver address (single node)")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated sharded cloud tier addresses (overrides -cloud; order is positional shard identity)")
 	keyPath := flag.String("key", "datablinder-master.key", "master key file (created if absent)")
-	statePath := flag.String("state", "datablinder-gateway.aof", "gateway state file")
+	statePath := flag.String("state", "datablinder-gateway.aof", "gateway state directory (a v1 state file at this path is migrated)")
+	fsync := flag.String("fsync", "interval", "state WAL durability policy: always, interval, never")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable cross-caller write coalescing (per-shard group commit)")
 	wireJSON := flag.Bool("wire-json", false, "pin the cloud channel to v1 JSON framing instead of negotiating the binary wire codec")
@@ -70,6 +71,7 @@ func main() {
 		MasterKeyPath:     *keyPath,
 		CreateKey:         true,
 		LocalStatePath:    *statePath,
+		FsyncPolicy:       *fsync,
 		DisableCoalescing: *noCoalesce,
 		DisableBinaryWire: *wireJSON,
 	}

@@ -43,6 +43,7 @@ import (
 	"datablinder/internal/model"
 	"datablinder/internal/spi"
 	"datablinder/internal/store/kvstore"
+	"datablinder/internal/store/wal"
 	"datablinder/internal/tactics"
 	"datablinder/internal/transport"
 )
@@ -201,14 +202,19 @@ type Options struct {
 	// does not exist yet.
 	CreateKey bool
 
-	// LocalStatePath enables AOF persistence of gateway state (tactic
-	// counters, schemas). Empty means in-memory.
+	// LocalStatePath enables WAL persistence of gateway state (tactic
+	// counters, schemas). Empty means in-memory. A v1 text AOF at this
+	// path is migrated on first open.
 	LocalStatePath string
 
 	// CloudKVPath / CloudDocDir enable persistence for the in-process
 	// cloud node.
 	CloudKVPath string
 	CloudDocDir string
+
+	// FsyncPolicy selects WAL durability for the local store and any
+	// in-process cloud node: "always", "interval" (default), or "never".
+	FsyncPolicy string
 }
 
 // Client is the application-facing gateway handle (the Schema, Entities
@@ -253,9 +259,13 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 		return nil, fmt.Errorf("datablinder: key setup: %w", err)
 	}
 
+	fsync, err := wal.ParsePolicy(opts.FsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("datablinder: %w", err)
+	}
 	var local *kvstore.Store
 	if opts.LocalStatePath != "" {
-		local, err = kvstore.Open(opts.LocalStatePath)
+		local, err = kvstore.Open(opts.LocalStatePath, kvstore.Options{Fsync: fsync})
 		if err != nil {
 			return nil, fmt.Errorf("datablinder: local state: %w", err)
 		}
@@ -281,7 +291,7 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 					docDir = filepath.Join(docDir, fmt.Sprintf("shard-%d", i))
 				}
 			}
-			node, err := cloud.NewNode(cloud.Options{KVPath: kvPath, DocDir: docDir})
+			node, err := cloud.NewNode(cloud.Options{KVPath: kvPath, DocDir: docDir, FsyncPolicy: opts.FsyncPolicy})
 			if err != nil {
 				client.Close()
 				return nil, err

@@ -15,6 +15,7 @@ import (
 
 	"datablinder/internal/store/docstore"
 	"datablinder/internal/store/kvstore"
+	"datablinder/internal/store/wal"
 	"datablinder/internal/tactics"
 	"datablinder/internal/transport"
 )
@@ -109,10 +110,15 @@ type StatsReply struct {
 
 // Options configures a cloud node.
 type Options struct {
-	// KVPath enables AOF persistence for the index store.
+	// KVPath enables WAL persistence for the index store (a directory of
+	// log segments; a v1 text AOF at this path or at KVPath+".aof" is
+	// migrated on first open).
 	KVPath string
-	// DocDir enables snapshot persistence for the document store.
+	// DocDir enables WAL persistence for the document store.
 	DocDir string
+	// FsyncPolicy selects log durability for both stores: "always",
+	// "interval" (default), or "never".
+	FsyncPolicy string
 }
 
 // Node is one cloud deployment: stores plus a ready-to-serve mux.
@@ -124,12 +130,17 @@ type Node struct {
 
 // NewNode builds a cloud node with all tactic cloud halves registered.
 func NewNode(opts Options) (*Node, error) {
-	var (
-		kv  *kvstore.Store
-		err error
-	)
+	fsync, err := wal.ParsePolicy(opts.FsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: %w", err)
+	}
+	var kv *kvstore.Store
 	if opts.KVPath != "" {
-		kv, err = kvstore.Open(opts.KVPath)
+		kv, err = kvstore.Open(opts.KVPath, kvstore.Options{
+			Fsync: fsync,
+			// Pre-WAL cloud layouts kept the text AOF beside the doc dir.
+			LegacyAOF: opts.KVPath + ".aof",
+		})
 		if err != nil {
 			return nil, fmt.Errorf("cloud: opening kv store: %w", err)
 		}
@@ -138,7 +149,7 @@ func NewNode(opts Options) (*Node, error) {
 	}
 	var docs *docstore.Store
 	if opts.DocDir != "" {
-		docs, err = docstore.Open(opts.DocDir)
+		docs, err = docstore.Open(opts.DocDir, docstore.Options{Fsync: fsync})
 		if err != nil {
 			kv.Close()
 			return nil, fmt.Errorf("cloud: opening doc store: %w", err)

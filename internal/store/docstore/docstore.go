@@ -2,19 +2,22 @@
 // cloud side keeps encrypted documents in. The original system used MongoDB
 // or Elasticsearch; the middleware only ever needs put/get/delete/scan by
 // document identifier on opaque (encrypted) blobs within named collections,
-// which this package provides with optional snapshot persistence.
+// which this package provides backed by the segmented binary write-ahead
+// log in internal/store/wal: every mutation is logged as it happens (not
+// only at Close, as the old JSON-snapshot scheme did), so a crash loses at
+// most the configured fsync window.
 //
 // All operations are safe for concurrent use.
 package docstore
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"datablinder/internal/store/wal"
 )
 
 // Common errors.
@@ -32,51 +35,23 @@ type Record struct {
 	Blob []byte `json:"blob"`
 }
 
-// Store is an in-memory multi-collection document store.
+// Store is an in-memory multi-collection document store with optional WAL
+// persistence.
 type Store struct {
 	mu          sync.RWMutex
 	collections map[string]map[string][]byte
 	closed      bool
-	dir         string // snapshot directory; empty disables persistence
+	seq         uint64 // last claimed commit sequence; guarded by mu
+
+	wal        *wal.Log
+	opts       Options
+	wg         sync.WaitGroup
+	compacting atomic.Bool
 }
 
 // New returns an empty in-memory store with no persistence.
 func New() *Store {
 	return &Store{collections: make(map[string]map[string][]byte)}
-}
-
-// Open returns a store that can snapshot its collections as JSON files in
-// dir, loading any existing snapshots.
-func Open(dir string) (*Store, error) {
-	s := New()
-	s.dir = dir
-	if err := os.MkdirAll(dir, 0o700); err != nil {
-		return nil, fmt.Errorf("docstore: creating snapshot dir: %w", err)
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("docstore: reading snapshot dir: %w", err)
-	}
-	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
-			continue
-		}
-		name := e.Name()[:len(e.Name())-len(".json")]
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, fmt.Errorf("docstore: reading snapshot %s: %w", e.Name(), err)
-		}
-		var recs []Record
-		if err := json.Unmarshal(data, &recs); err != nil {
-			return nil, fmt.Errorf("docstore: decoding snapshot %s: %w", e.Name(), err)
-		}
-		col := make(map[string][]byte, len(recs))
-		for _, r := range recs {
-			col[r.ID] = r.Blob
-		}
-		s.collections[name] = col
-	}
-	return s, nil
 }
 
 func (s *Store) collection(name string) map[string][]byte {
@@ -91,27 +66,38 @@ func (s *Store) collection(name string) map[string][]byte {
 // Insert stores blob under id in collection, failing if id already exists.
 func (s *Store) Insert(collection, id string, blob []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	col := s.collection(collection)
 	if _, ok := col[id]; ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %s/%s", ErrExists, collection, id)
 	}
 	col[id] = append([]byte(nil), blob...)
-	return nil
+	seq, ok := s.claimLocked()
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.logPut(seq, collection, id, blob)
 }
 
 // Put stores blob under id in collection, overwriting any existing value.
 func (s *Store) Put(collection, id string, blob []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	s.collection(collection)[id] = append([]byte(nil), blob...)
-	return nil
+	seq, ok := s.claimLocked()
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.logPut(seq, collection, id, blob)
 }
 
 // Get returns the blob stored under id in collection.
@@ -150,16 +136,22 @@ func (s *Store) GetMany(collection string, ids []string) ([]Record, error) {
 // ErrNotFound.
 func (s *Store) Delete(collection, id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	col := s.collections[collection]
 	if _, ok := col[id]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, collection, id)
 	}
 	delete(col, id)
-	return nil
+	seq, ok := s.claimLocked()
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.logDel(seq, collection, id)
 }
 
 // Exists reports whether id is present in collection.
@@ -223,58 +215,4 @@ func (s *Store) Collections() ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
-}
-
-// Snapshot writes every collection to its JSON snapshot file. It is a
-// no-op for stores created with New.
-func (s *Store) Snapshot() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.dir == "" {
-		return nil
-	}
-	for name, col := range s.collections {
-		ids := make([]string, 0, len(col))
-		for id := range col {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		recs := make([]Record, len(ids))
-		for i, id := range ids {
-			recs[i] = Record{ID: id, Blob: col[id]}
-		}
-		data, err := json.Marshal(recs)
-		if err != nil {
-			return fmt.Errorf("docstore: encoding snapshot %s: %w", name, err)
-		}
-		tmp := filepath.Join(s.dir, name+".json.tmp")
-		if err := os.WriteFile(tmp, data, 0o600); err != nil {
-			return fmt.Errorf("docstore: writing snapshot %s: %w", name, err)
-		}
-		if err := os.Rename(tmp, filepath.Join(s.dir, name+".json")); err != nil {
-			return fmt.Errorf("docstore: committing snapshot %s: %w", name, err)
-		}
-	}
-	return nil
-}
-
-// Close marks the store closed. With persistence enabled it snapshots
-// first. Close is idempotent.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.mu.Unlock()
-	if err := s.Snapshot(); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	return nil
 }

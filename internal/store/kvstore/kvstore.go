@@ -2,27 +2,28 @@
 // constructions DataBlinder tactics build custom secure indexes from:
 // byte-string values, hash maps, sets, and counters. The original system
 // deployed Redis "in a semi-persistent durability mode" on both the gateway
-// and the cloud; this package provides the same contract in-process, with
-// optional append-only-file persistence.
+// and the cloud; this package provides the same contract in-process, backed
+// by the segmented binary write-ahead log in internal/store/wal.
 //
 // All operations are safe for concurrent use. The store is striped into
 // independently locked shards (the key hashes to a shard), so concurrent
-// server dispatch on different keys does not contend on one lock. AOF
-// records are serialized behind a dedicated writer mutex; operations on
-// the same key serialize on their shard lock before logging, and
-// operations on different keys commute, so replay order is equivalent.
+// server dispatch on different keys does not contend on one lock. A
+// persisted mutation claims a store-wide commit sequence while holding its
+// shard lock — fixing same-key order — but appends to the log *outside*
+// the lock, so readers and same-shard writers never wait behind an fsync.
+// Recovery re-orders by sequence within each stripe and replays all
+// stripes in parallel.
 package kvstore
 
 import (
-	"bufio"
-	"encoding/base64"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"datablinder/internal/store/wal"
 )
 
 // ErrClosed is returned by operations on a closed store.
@@ -42,17 +43,20 @@ type shard struct {
 	zsets    map[string][]zentry
 }
 
-// Store is an in-memory key-value store with optional AOF persistence.
+// Store is an in-memory key-value store with optional WAL persistence.
 // The zero value is not usable; construct with New or Open.
 type Store struct {
 	shards [numShards]shard
 	closed atomic.Bool
 
-	// aofMu serializes AOF appends across shards; aof and f are set once
-	// at Open and never change afterwards.
-	aofMu sync.Mutex
-	aof   *bufio.Writer
-	f     *os.File
+	// Persistence state (wal nil = in-memory only). seq is claimed under
+	// the owning stripe lock; the log append happens after the lock is
+	// released, tracked by wg so Close can wait out in-flight appends.
+	wal        *wal.Log
+	opts       Options
+	seq        atomic.Uint64
+	wg         sync.WaitGroup
+	compacting atomic.Bool
 }
 
 // New returns an empty in-memory store with no persistence.
@@ -69,171 +73,36 @@ func New() *Store {
 	return s
 }
 
-// shard returns the shard owning key.
-func (s *Store) shard(key []byte) *shard {
-	// FNV-1a over the key bytes.
+// shardIndex returns the stripe index owning key (FNV-1a over the bytes).
+func shardIndex(key []byte) int {
 	h := uint32(2166136261)
 	for _, b := range key {
 		h ^= uint32(b)
 		h *= 16777619
 	}
-	return &s.shards[h%numShards]
+	return int(h % numShards)
 }
 
-// Open returns a store backed by an append-only file at path, replaying any
-// existing log — the "semi-persistent durability mode" of the paper's Redis
-// deployment. Writes are buffered; call Sync or Close to flush.
-func Open(path string) (*Store, error) {
-	s := New()
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
-	if err != nil {
-		return nil, fmt.Errorf("kvstore: opening AOF: %w", err)
-	}
-	scanner := bufio.NewScanner(f)
-	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	line := 0
-	for scanner.Scan() {
-		line++
-		if err := s.replay(scanner.Text()); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("kvstore: AOF line %d: %w", line, err)
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("kvstore: reading AOF: %w", err)
-	}
-	s.f = f
-	s.aof = bufio.NewWriter(f)
-	return s, nil
-}
-
-func enc(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
-
-func dec(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
-
-// replay applies one AOF record. Records are space-separated:
-//
-//	SET key val | DEL key | HSET key field val | HDEL key field |
-//	SADD key member | SREM key member | INCR key delta
-func (s *Store) replay(rec string) error {
-	parts := strings.Split(rec, " ")
-	if len(parts) < 2 {
-		return fmt.Errorf("malformed record %q", rec)
-	}
-	op := parts[0]
-	key, err := dec(parts[1])
-	if err != nil {
-		return fmt.Errorf("bad key encoding: %w", err)
-	}
-	sh := s.shard(key)
-	k := string(key)
-	arg := func(i int) ([]byte, error) {
-		if i >= len(parts) {
-			return nil, fmt.Errorf("record %q missing argument %d", rec, i)
-		}
-		return dec(parts[i])
-	}
-	switch op {
-	case "SET":
-		v, err := arg(2)
-		if err != nil {
-			return err
-		}
-		sh.strings[k] = v
-	case "DEL":
-		delete(sh.strings, k)
-		delete(sh.hashes, k)
-		delete(sh.sets, k)
-		delete(sh.counters, k)
-		delete(sh.zsets, k)
-	case "HSET":
-		f, err := arg(2)
-		if err != nil {
-			return err
-		}
-		v, err := arg(3)
-		if err != nil {
-			return err
-		}
-		h := sh.hashes[k]
-		if h == nil {
-			h = make(map[string][]byte)
-			sh.hashes[k] = h
-		}
-		h[string(f)] = v
-	case "HDEL":
-		f, err := arg(2)
-		if err != nil {
-			return err
-		}
-		delete(sh.hashes[k], string(f))
-	case "SADD":
-		m, err := arg(2)
-		if err != nil {
-			return err
-		}
-		set := sh.sets[k]
-		if set == nil {
-			set = make(map[string]struct{})
-			sh.sets[k] = set
-		}
-		set[string(m)] = struct{}{}
-	case "SREM":
-		m, err := arg(2)
-		if err != nil {
-			return err
-		}
-		delete(sh.sets[k], string(m))
-	case "INCR":
-		d, err := arg(2)
-		if err != nil {
-			return err
-		}
-		var delta int64
-		if _, err := fmt.Sscanf(string(d), "%d", &delta); err != nil {
-			return fmt.Errorf("bad INCR delta: %w", err)
-		}
-		sh.counters[k] += delta
-	case "ZADD", "ZREM":
-		return s.replayZ(op, key, parts)
-	default:
-		return fmt.Errorf("unknown op %q", op)
-	}
-	return nil
-}
-
-// log appends a record to the AOF if persistence is enabled. Callers hold
-// their shard lock, which serializes same-key records; records for
-// different keys may interleave in any order, which is safe because they
-// commute under replay.
-func (s *Store) log(op string, args ...[]byte) {
-	if s.aof == nil {
-		return
-	}
-	rec := make([]string, 0, len(args)+1)
-	rec = append(rec, op)
-	for _, a := range args {
-		rec = append(rec, enc(a))
-	}
-	line := strings.Join(rec, " ")
-	s.aofMu.Lock()
-	fmt.Fprintln(s.aof, line)
-	s.aofMu.Unlock()
+// shard returns the shard owning key.
+func (s *Store) shard(key []byte) *shard {
+	return &s.shards[shardIndex(key)]
 }
 
 // Set stores value under key.
 func (s *Store) Set(key, value []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	cp := append([]byte(nil), value...)
-	sh.strings[string(key)] = cp
-	s.log("SET", key, value)
-	return nil
+	sh.strings[string(key)] = append([]byte(nil), value...)
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.log2(seq, opSet, key, value)
 }
 
 // Get returns the value for key and whether it exists.
@@ -255,8 +124,8 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 func (s *Store) Del(key []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
 	k := string(key)
@@ -265,16 +134,20 @@ func (s *Store) Del(key []byte) error {
 	delete(sh.sets, k)
 	delete(sh.counters, k)
 	delete(sh.zsets, k)
-	s.log("DEL", key)
-	return nil
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.log1(seq, opDel, key)
 }
 
 // HSet stores value under (key, field) in a hash map.
 func (s *Store) HSet(key, field, value []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
 	h := sh.hashes[string(key)]
@@ -283,8 +156,12 @@ func (s *Store) HSet(key, field, value []byte) error {
 		sh.hashes[string(key)] = h
 	}
 	h[string(field)] = append([]byte(nil), value...)
-	s.log("HSET", key, field, value)
-	return nil
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.log3(seq, opHSet, key, field, value)
 }
 
 // HGet returns the value for (key, field) and whether it exists.
@@ -306,13 +183,17 @@ func (s *Store) HGet(key, field []byte) ([]byte, bool, error) {
 func (s *Store) HDel(key, field []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
 	delete(sh.hashes[string(key)], string(field))
-	s.log("HDEL", key, field)
-	return nil
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.log2(seq, opHDel, key, field)
 }
 
 // HLen returns the number of fields in the hash at key.
@@ -351,8 +232,8 @@ func (s *Store) HFields(key []byte) ([][]byte, error) {
 func (s *Store) SAdd(key, member []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
 	set := sh.sets[string(key)]
@@ -361,21 +242,29 @@ func (s *Store) SAdd(key, member []byte) error {
 		sh.sets[string(key)] = set
 	}
 	set[string(member)] = struct{}{}
-	s.log("SADD", key, member)
-	return nil
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.log2(seq, opSAdd, key, member)
 }
 
 // SRem removes member from the set at key.
 func (s *Store) SRem(key, member []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
 	delete(sh.sets[string(key)], string(member))
-	s.log("SREM", key, member)
-	return nil
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return s.log2(seq, opSRem, key, member)
 }
 
 // SMembers returns the members of the set at key, sorted.
@@ -426,13 +315,21 @@ func (s *Store) SIsMember(key, member []byte) (bool, error) {
 func (s *Store) Incr(key []byte, delta int64) (int64, error) {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return 0, ErrClosed
 	}
 	sh.counters[string(key)] += delta
-	s.log("INCR", key, []byte(fmt.Sprintf("%d", delta)))
-	return sh.counters[string(key)], nil
+	v := sh.counters[string(key)]
+	seq, ok := s.claim()
+	sh.mu.Unlock()
+	if !ok {
+		return v, nil
+	}
+	if err := s.logIncr(seq, key, delta); err != nil {
+		return 0, err
+	}
+	return v, nil
 }
 
 // Counter returns the current counter value at key (0 if unset).
@@ -560,18 +457,16 @@ func (s *Store) Stats() (map[string]NamespaceStats, error) {
 	return out, nil
 }
 
-// Sync flushes buffered AOF writes to the operating system.
+// Sync forces everything appended so far to stable storage.
 func (s *Store) Sync() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	if s.aof == nil {
+	if s.wal == nil {
 		return nil
 	}
-	s.aofMu.Lock()
-	defer s.aofMu.Unlock()
-	if err := s.aof.Flush(); err != nil {
-		return fmt.Errorf("kvstore: flushing AOF: %w", err)
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("kvstore: sync: %w", err)
 	}
 	return nil
 }
@@ -582,23 +477,19 @@ func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Drain: an in-flight operation that passed its closed check still
-	// holds its shard lock until it has appended to the AOF; cycling every
-	// shard lock waits all of them out before the final flush.
+	// Drain: an operation that passed its closed check claims its commit
+	// sequence under its shard lock, so cycling every shard lock waits out
+	// all claimants; wg then waits out their in-flight log appends.
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
 		s.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the drain
 	}
-	s.aofMu.Lock()
-	defer s.aofMu.Unlock()
-	if s.aof != nil {
-		if err := s.aof.Flush(); err != nil {
-			s.f.Close()
-			return fmt.Errorf("kvstore: flushing AOF on close: %w", err)
-		}
-		if err := s.f.Close(); err != nil {
-			return fmt.Errorf("kvstore: closing AOF: %w", err)
-		}
+	s.wg.Wait()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("kvstore: closing WAL: %w", err)
 	}
 	return nil
 }

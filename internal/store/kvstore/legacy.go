@@ -1,0 +1,130 @@
+// v1 text append-only-file parsing, kept only to migrate pre-WAL data
+// directories: base64-armored space-separated records, one per line.
+// Parsing is strict — a corrupt legacy file fails Open untouched rather
+// than silently losing records.
+
+package kvstore
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func dec(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
+
+// loadLegacyAOF replays a v1 text AOF into the in-memory state. Called
+// during Open before the WAL exists, so replayed mutations are not logged.
+func (s *Store) loadLegacyAOF(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("kvstore: opening AOF: %w", err)
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for scanner.Scan() {
+		line++
+		if err := s.replay(scanner.Text()); err != nil {
+			return fmt.Errorf("kvstore: AOF line %d: %w", line, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("kvstore: reading AOF: %w", err)
+	}
+	return nil
+}
+
+// replay applies one v1 AOF record. Records are space-separated:
+//
+//	SET key val | DEL key | HSET key field val | HDEL key field |
+//	SADD key member | SREM key member | INCR key delta
+func (s *Store) replay(rec string) error {
+	parts := strings.Split(rec, " ")
+	if len(parts) < 2 {
+		return fmt.Errorf("malformed record %q", rec)
+	}
+	op := parts[0]
+	key, err := dec(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad key encoding: %w", err)
+	}
+	sh := s.shard(key)
+	k := string(key)
+	arg := func(i int) ([]byte, error) {
+		if i >= len(parts) {
+			return nil, fmt.Errorf("record %q missing argument %d", rec, i)
+		}
+		return dec(parts[i])
+	}
+	switch op {
+	case "SET":
+		v, err := arg(2)
+		if err != nil {
+			return err
+		}
+		sh.strings[k] = v
+	case "DEL":
+		delete(sh.strings, k)
+		delete(sh.hashes, k)
+		delete(sh.sets, k)
+		delete(sh.counters, k)
+		delete(sh.zsets, k)
+	case "HSET":
+		f, err := arg(2)
+		if err != nil {
+			return err
+		}
+		v, err := arg(3)
+		if err != nil {
+			return err
+		}
+		h := sh.hashes[k]
+		if h == nil {
+			h = make(map[string][]byte)
+			sh.hashes[k] = h
+		}
+		h[string(f)] = v
+	case "HDEL":
+		f, err := arg(2)
+		if err != nil {
+			return err
+		}
+		delete(sh.hashes[k], string(f))
+	case "SADD":
+		m, err := arg(2)
+		if err != nil {
+			return err
+		}
+		set := sh.sets[k]
+		if set == nil {
+			set = make(map[string]struct{})
+			sh.sets[k] = set
+		}
+		set[string(m)] = struct{}{}
+	case "SREM":
+		m, err := arg(2)
+		if err != nil {
+			return err
+		}
+		delete(sh.sets[k], string(m))
+	case "INCR":
+		d, err := arg(2)
+		if err != nil {
+			return err
+		}
+		var delta int64
+		if _, err := fmt.Sscanf(string(d), "%d", &delta); err != nil {
+			return fmt.Errorf("bad INCR delta: %w", err)
+		}
+		sh.counters[k] += delta
+	case "ZADD", "ZREM":
+		return s.replayZ(op, key, parts)
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+	return nil
+}

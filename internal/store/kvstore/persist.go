@@ -1,0 +1,464 @@
+// WAL-backed persistence: the binary op codec, recovery (snapshot +
+// parallel tail replay), background snapshot/compaction, and migration
+// from the v1 text append-only file.
+//
+// Frame format: one op byte followed by wirefmt fields, key first — the
+// key leads so recovery can route a frame to its lock stripe without
+// decoding the rest. A snapshot payload is a concatenation of
+// length-prefixed frames describing the full state.
+
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"datablinder/internal/conc"
+	"datablinder/internal/store/wal"
+	"datablinder/internal/wirefmt"
+)
+
+// Op codes for persisted mutations.
+const (
+	opSet byte = iota + 1
+	opDel
+	opHSet
+	opHDel
+	opSAdd
+	opSRem
+	opIncr
+	opZAdd
+	opZRem
+	opMax = opZRem
+)
+
+// DefaultCompactBytes is the sealed-log size that triggers a background
+// snapshot+compaction when Options.CompactBytes is zero.
+const DefaultCompactBytes = 64 << 20
+
+// Options tunes persistence. The zero value is a sensible default
+// (interval fsync, 16 MiB segments, compaction at 64 MiB of sealed log).
+type Options struct {
+	// Fsync selects the durability policy (zero value: wal.FsyncInterval).
+	Fsync wal.Policy
+	// SyncInterval is the interval-policy flush cadence (0 = 1s).
+	SyncInterval time.Duration
+	// SegmentSize rotates log segments at this size (0 = 16 MiB).
+	SegmentSize int64
+	// Strict makes a torn log tail a fatal Open error instead of
+	// truncating at the last valid record.
+	Strict bool
+	// CompactBytes triggers a background snapshot once the sealed log
+	// exceeds this size (0 = 64 MiB; negative disables auto-compaction).
+	CompactBytes int64
+	// LegacyAOF names a v1 text append-only file to migrate when the WAL
+	// directory is empty (the old cloud layout kept "<dir>/index.aof"
+	// beside the doc directory). The path itself is also checked: if it is
+	// a regular file, it is treated as a v1 AOF and migrated in place.
+	LegacyAOF string
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactBytes == 0 {
+		o.CompactBytes = DefaultCompactBytes
+	}
+	return o
+}
+
+// Open returns a store persisted under path (a directory of log segments
+// and snapshots; created if missing), replaying any existing state. A v1
+// text AOF — either at path itself or at Options.LegacyAOF — is migrated
+// into the log on first open and retired with a suffix rename.
+func Open(path string, options ...Options) (*Store, error) {
+	var opts Options
+	if len(options) > 0 {
+		opts = options[0]
+	}
+	opts = opts.withDefaults()
+	s := New()
+	s.opts = opts
+
+	migrated := false
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		// v1 layout: path is the text AOF itself. Parse before renaming so
+		// a corrupt file is rejected untouched.
+		if err := s.loadLegacyAOF(path); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(path, path+".legacy"); err != nil {
+			return nil, fmt.Errorf("kvstore: retiring legacy AOF: %w", err)
+		}
+		migrated = true
+	}
+
+	l, err := wal.Open(path, wal.Options{
+		Fsync:        opts.Fsync,
+		SyncInterval: opts.SyncInterval,
+		SegmentSize:  opts.SegmentSize,
+		Strict:       opts.Strict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	if !migrated && opts.LegacyAOF != "" && l.Empty() {
+		if fi, err := os.Stat(opts.LegacyAOF); err == nil && fi.Mode().IsRegular() {
+			if err := s.loadLegacyAOF(opts.LegacyAOF); err != nil {
+				l.Close()
+				return nil, err
+			}
+			if err := os.Rename(opts.LegacyAOF, opts.LegacyAOF+".migrated"); err != nil {
+				l.Close()
+				return nil, fmt.Errorf("kvstore: retiring legacy AOF: %w", err)
+			}
+			migrated = true
+		}
+	}
+	if err := s.recover(l); err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.wal = l
+	s.seq.Store(l.MaxSeq())
+	if migrated {
+		// Persist the migrated state immediately: the retired text file is
+		// never read again, so the log must own a full copy from day one.
+		if err := s.Compact(); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("kvstore: snapshotting migrated state: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// WAL exposes the underlying log for stats, benchmarks, and the planned
+// replica catch-up protocol. Nil for in-memory stores.
+func (s *Store) WAL() *wal.Log { return s.wal }
+
+// claim reserves the next commit sequence and registers an in-flight
+// append. Callers must hold the key's stripe lock: that is what orders
+// same-key sequences, and what lets Close drain claimants by cycling the
+// stripe locks. Returns ok=false when the store has no persistence.
+func (s *Store) claim() (uint64, bool) {
+	if s.wal == nil {
+		return 0, false
+	}
+	s.wg.Add(1)
+	return s.seq.Add(1), true
+}
+
+// logFrame appends one claimed frame to the log. Runs outside any stripe
+// lock: under fsync=always this blocks on a group commit, and readers of
+// the same stripe must not wait behind it.
+func (s *Store) logFrame(seq uint64, frame []byte) error {
+	err := s.wal.Append(seq, frame)
+	s.wg.Done()
+	if err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// framePool recycles frame-encoding buffers on the persisted write path.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+func (s *Store) log1(seq uint64, op byte, key []byte) error {
+	bp := framePool.Get().(*[]byte)
+	b := append((*bp)[:0], op)
+	b = wirefmt.AppendBytes(b, key)
+	err := s.logFrame(seq, b)
+	*bp = b
+	framePool.Put(bp)
+	return err
+}
+
+func (s *Store) log2(seq uint64, op byte, key, a []byte) error {
+	bp := framePool.Get().(*[]byte)
+	b := append((*bp)[:0], op)
+	b = wirefmt.AppendBytes(b, key)
+	b = wirefmt.AppendBytes(b, a)
+	err := s.logFrame(seq, b)
+	*bp = b
+	framePool.Put(bp)
+	return err
+}
+
+func (s *Store) log3(seq uint64, op byte, key, a, c []byte) error {
+	bp := framePool.Get().(*[]byte)
+	b := append((*bp)[:0], op)
+	b = wirefmt.AppendBytes(b, key)
+	b = wirefmt.AppendBytes(b, a)
+	b = wirefmt.AppendBytes(b, c)
+	err := s.logFrame(seq, b)
+	*bp = b
+	framePool.Put(bp)
+	return err
+}
+
+func (s *Store) logIncr(seq uint64, key []byte, delta int64) error {
+	bp := framePool.Get().(*[]byte)
+	b := append((*bp)[:0], opIncr)
+	b = wirefmt.AppendBytes(b, key)
+	b = wirefmt.AppendInt64(b, delta)
+	err := s.logFrame(seq, b)
+	*bp = b
+	framePool.Put(bp)
+	return err
+}
+
+// frameShard routes a frame to its lock stripe by peeking the leading key.
+func frameShard(frame []byte) (int, error) {
+	if len(frame) < 2 || frame[0] < opSet || frame[0] > opMax {
+		return 0, fmt.Errorf("kvstore: malformed frame (%d bytes)", len(frame))
+	}
+	r := wirefmt.GetReader(frame[1:])
+	key := r.Bytes()
+	err := r.Err()
+	wirefmt.PutReader(r)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: malformed frame key: %w", err)
+	}
+	return shardIndex(key), nil
+}
+
+// applyFrame decodes one frame and mutates sh. Recovery-only: the caller
+// owns the shard exclusively, and the frame's backing memory, so decoded
+// slices are stored without copying.
+func (s *Store) applyFrame(sh *shard, frame []byte) error {
+	r := wirefmt.GetReader(frame[1:])
+	defer wirefmt.PutReader(r)
+	k := r.String()
+	switch frame[0] {
+	case opSet:
+		v := r.Bytes()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		sh.strings[k] = v
+	case opDel:
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		delete(sh.strings, k)
+		delete(sh.hashes, k)
+		delete(sh.sets, k)
+		delete(sh.counters, k)
+		delete(sh.zsets, k)
+	case opHSet:
+		f := r.String()
+		v := r.Bytes()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		h := sh.hashes[k]
+		if h == nil {
+			h = make(map[string][]byte)
+			sh.hashes[k] = h
+		}
+		h[f] = v
+	case opHDel:
+		f := r.String()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		delete(sh.hashes[k], f)
+	case opSAdd:
+		m := r.String()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		set := sh.sets[k]
+		if set == nil {
+			set = make(map[string]struct{})
+			sh.sets[k] = set
+		}
+		set[m] = struct{}{}
+	case opSRem:
+		m := r.String()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		delete(sh.sets[k], m)
+	case opIncr:
+		d := r.Int64()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		sh.counters[k] += d
+	case opZAdd:
+		score := r.Bytes()
+		member := r.Bytes()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		sh.zinsert(k, score, member)
+	case opZRem:
+		score := r.Bytes()
+		member := r.Bytes()
+		if err := r.Finish(); err != nil {
+			return err
+		}
+		sh.zremove(k, score, member)
+	default:
+		return fmt.Errorf("kvstore: unknown op %d", frame[0])
+	}
+	return nil
+}
+
+// recover loads the snapshot and replays the log tail, bucketing frames by
+// lock stripe and applying all stripes concurrently. Log records may sit
+// out of sequence order in the file (appends race outside the stripe
+// locks), so each stripe's tail is sorted by sequence before applying.
+func (s *Store) recover(l *wal.Log) error {
+	snap, snapSeq, hasSnap, err := l.LoadSnapshot()
+	if err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	var snapFrames [numShards][][]byte
+	if hasSnap {
+		r := wirefmt.NewReader(snap)
+		for r.Len() > 0 {
+			frame := r.Bytes()
+			if r.Err() != nil {
+				break
+			}
+			si, err := frameShard(frame)
+			if err != nil {
+				return fmt.Errorf("kvstore: snapshot seq %d: %w", snapSeq, err)
+			}
+			snapFrames[si] = append(snapFrames[si], frame)
+		}
+		if err := r.Finish(); err != nil {
+			return fmt.Errorf("kvstore: corrupt snapshot: %w", err)
+		}
+	}
+	type rec struct {
+		seq   uint64
+		frame []byte
+	}
+	var tail [numShards][]rec
+	if err := l.Replay(func(seq uint64, frame []byte) error {
+		si, err := frameShard(frame)
+		if err != nil {
+			return err
+		}
+		tail[si] = append(tail[si], rec{seq, frame})
+		return nil
+	}); err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	return conc.ForEach(context.Background(), numShards, 0, func(_ context.Context, i int) error {
+		sh := &s.shards[i]
+		for _, frame := range snapFrames[i] {
+			if err := s.applyFrame(sh, frame); err != nil {
+				return fmt.Errorf("kvstore: snapshot frame: %w", err)
+			}
+		}
+		t := tail[i]
+		sort.Slice(t, func(a, b int) bool { return t[a].seq < t[b].seq })
+		for _, rc := range t {
+			if err := s.applyFrame(sh, rc.frame); err != nil {
+				return fmt.Errorf("kvstore: log record seq %d: %w", rc.seq, err)
+			}
+		}
+		return nil
+	})
+}
+
+// serializeLocked encodes the full store state as a snapshot payload. The
+// caller holds every stripe lock.
+func (s *Store) serializeLocked() []byte {
+	b := make([]byte, 0, 1<<16)
+	var frame []byte
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for k, v := range sh.strings {
+			frame = append(frame[:0], opSet)
+			frame = wirefmt.AppendString(frame, k)
+			frame = wirefmt.AppendBytes(frame, v)
+			b = wirefmt.AppendBytes(b, frame)
+		}
+		for k, h := range sh.hashes {
+			for f, v := range h {
+				frame = append(frame[:0], opHSet)
+				frame = wirefmt.AppendString(frame, k)
+				frame = wirefmt.AppendString(frame, f)
+				frame = wirefmt.AppendBytes(frame, v)
+				b = wirefmt.AppendBytes(b, frame)
+			}
+		}
+		for k, set := range sh.sets {
+			for m := range set {
+				frame = append(frame[:0], opSAdd)
+				frame = wirefmt.AppendString(frame, k)
+				frame = wirefmt.AppendString(frame, m)
+				b = wirefmt.AppendBytes(b, frame)
+			}
+		}
+		for k, v := range sh.counters {
+			frame = append(frame[:0], opIncr)
+			frame = wirefmt.AppendString(frame, k)
+			frame = wirefmt.AppendInt64(frame, v)
+			b = wirefmt.AppendBytes(b, frame)
+		}
+		for k, z := range sh.zsets {
+			for _, e := range z {
+				frame = append(frame[:0], opZAdd)
+				frame = wirefmt.AppendString(frame, k)
+				frame = wirefmt.AppendBytes(frame, e.score)
+				frame = wirefmt.AppendBytes(frame, e.member)
+				b = wirefmt.AppendBytes(b, frame)
+			}
+		}
+	}
+	return b
+}
+
+// Compact writes a durable snapshot of the current state and drops the log
+// segments it covers, bounding recovery to snapshot + tail. The store is
+// frozen (every stripe locked) only while serializing; the snapshot write
+// itself runs concurrently with new appends.
+func (s *Store) Compact() error {
+	if s.wal == nil {
+		return nil
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	if s.closed.Load() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+		return ErrClosed
+	}
+	// Every claimed sequence's mutation is applied under its stripe lock,
+	// so with all stripes held the state reflects exactly seq ≤ seqNow.
+	seqNow := s.seq.Load()
+	payload := s.serializeLocked()
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	if err := s.wal.WriteSnapshot(seqNow, payload); err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	return nil
+}
+
+// maybeCompact kicks off one background compaction when the sealed log has
+// outgrown the configured bound.
+func (s *Store) maybeCompact() {
+	if s.opts.CompactBytes <= 0 || s.wal.SealedBytes() < s.opts.CompactBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		s.Compact() //nolint:errcheck // best-effort; retried on the next trigger
+	}()
+}

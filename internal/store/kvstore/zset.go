@@ -29,6 +29,34 @@ func zfind(z []zentry, e zentry) (int, bool) {
 	return i, false
 }
 
+// zinsert adds (score, member) to the sorted set at k, reporting whether
+// the set changed. The slices are stored as given; callers copy if needed.
+func (sh *shard) zinsert(k string, score, member []byte) bool {
+	e := zentry{score: score, member: member}
+	z := sh.zsets[k]
+	i, exists := zfind(z, e)
+	if exists {
+		return false
+	}
+	z = append(z, zentry{})
+	copy(z[i+1:], z[i:])
+	z[i] = e
+	sh.zsets[k] = z
+	return true
+}
+
+// zremove deletes (score, member) from the sorted set at k, reporting
+// whether an entry was removed.
+func (sh *shard) zremove(k string, score, member []byte) bool {
+	z := sh.zsets[k]
+	i, exists := zfind(z, zentry{score: score, member: member})
+	if !exists {
+		return false
+	}
+	sh.zsets[k] = append(z[:i], z[i+1:]...)
+	return true
+}
+
 // ZAdd inserts (score, member) into the sorted set at key. Scores order
 // lexicographically — fixed-width big-endian encodings (like OPE
 // ciphertexts) therefore order numerically. Duplicate (score, member)
@@ -36,40 +64,43 @@ func zfind(z []zentry, e zentry) (int, bool) {
 func (s *Store) ZAdd(key, score, member []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	e := zentry{score: append([]byte(nil), score...), member: append([]byte(nil), member...)}
-	z := sh.zsets[string(key)]
-	i, exists := zfind(z, e)
-	if exists {
+	changed := sh.zinsert(string(key),
+		append([]byte(nil), score...), append([]byte(nil), member...))
+	var seq uint64
+	ok := false
+	if changed {
+		seq, ok = s.claim()
+	}
+	sh.mu.Unlock()
+	if !ok {
 		return nil
 	}
-	z = append(z, zentry{})
-	copy(z[i+1:], z[i:])
-	z[i] = e
-	sh.zsets[string(key)] = z
-	s.log("ZADD", key, score, member)
-	return nil
+	return s.log3(seq, opZAdd, key, score, member)
 }
 
 // ZRem removes (score, member) from the sorted set at key.
 func (s *Store) ZRem(key, score, member []byte) error {
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if s.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	z := sh.zsets[string(key)]
-	i, exists := zfind(z, zentry{score: score, member: member})
-	if !exists {
+	changed := sh.zremove(string(key), score, member)
+	var seq uint64
+	ok := false
+	if changed {
+		seq, ok = s.claim()
+	}
+	sh.mu.Unlock()
+	if !ok {
 		return nil
 	}
-	sh.zsets[string(key)] = append(z[:i], z[i+1:]...)
-	s.log("ZREM", key, score, member)
-	return nil
+	return s.log3(seq, opZRem, key, score, member)
 }
 
 // ZPair is one (score, member) element returned by range queries.
@@ -132,7 +163,7 @@ func (s *Store) ZCard(key []byte) (int, error) {
 	return len(sh.zsets[string(key)]), nil
 }
 
-// replayZ applies ZADD/ZREM AOF records; called from replay.
+// replayZ applies ZADD/ZREM v1 AOF records; called from replay.
 func (s *Store) replayZ(op string, key []byte, parts []string) error {
 	if len(parts) < 4 {
 		return fmt.Errorf("malformed %s record", op)
@@ -146,22 +177,11 @@ func (s *Store) replayZ(op string, key []byte, parts []string) error {
 		return err
 	}
 	sh := s.shard(key)
-	e := zentry{score: score, member: member}
-	z := sh.zsets[string(key)]
-	i, exists := zfind(z, e)
 	switch op {
 	case "ZADD":
-		if exists {
-			return nil
-		}
-		z = append(z, zentry{})
-		copy(z[i+1:], z[i:])
-		z[i] = e
-		sh.zsets[string(key)] = z
+		sh.zinsert(string(key), score, member)
 	case "ZREM":
-		if exists {
-			sh.zsets[string(key)] = append(z[:i], z[i+1:]...)
-		}
+		sh.zremove(string(key), score, member)
 	}
 	return nil
 }

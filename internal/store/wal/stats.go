@@ -1,0 +1,236 @@
+// Storage-engine observability, following the coalescer's pattern: cheap
+// always-on atomic counters per Log, snapshotted on demand and aggregated
+// across every live Log in the process into one expvar
+// ("datablinder_store"), so the -pprof endpoint of gateway and cloudserver
+// exposes appends, fsync latency, group-commit batch sizes, segment
+// counts, and recovery cost without extra wiring.
+
+package wal
+
+import (
+	"expvar"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fsyncBoundsUs are the inclusive upper bounds (µs) of the fsync-latency
+// histogram; the last bucket is unbounded.
+var fsyncBoundsUs = []uint64{50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// batchBounds are the inclusive upper bounds of the group-commit
+// batch-size histogram (records per fsync); the last bucket is unbounded.
+var batchBounds = []uint64{1, 2, 4, 8, 16, 32, 64}
+
+func bucketLabels(bounds []uint64, unit string) []string {
+	labels := make([]string, len(bounds)+1)
+	lo := uint64(1)
+	for i, hi := range bounds {
+		if lo == hi {
+			labels[i] = strconv.FormatUint(hi, 10) + unit
+		} else {
+			labels[i] = "<=" + strconv.FormatUint(hi, 10) + unit
+		}
+		lo = hi + 1
+	}
+	labels[len(bounds)] = ">" + strconv.FormatUint(bounds[len(bounds)-1], 10) + unit
+	return labels
+}
+
+var (
+	fsyncLabels = bucketLabels(fsyncBoundsUs, "us")
+	batchLabels = bucketLabels(batchBounds, "")
+)
+
+// counters are one Log's live counters.
+type counters struct {
+	appends     atomic.Uint64
+	appendBytes atomic.Uint64
+	fsyncs      atomic.Uint64
+	fsyncNanos  atomic.Uint64
+	fsyncHist   [9]atomic.Uint64
+	batchHist   [8]atomic.Uint64
+	rotations   atomic.Uint64
+	tornTails   atomic.Uint64
+	snapshots   atomic.Uint64
+	compacted   atomic.Uint64
+	// snapshotNanos / recoveryNanos hold the most recent durations;
+	// recoveryRecords the record count of the last Replay.
+	snapshotNanos   atomic.Uint64
+	recoveryNanos   atomic.Uint64
+	recoveryRecords atomic.Uint64
+}
+
+func (c *counters) recordFsync(d time.Duration, batch uint64) {
+	c.fsyncs.Add(1)
+	c.fsyncNanos.Add(uint64(d.Nanoseconds()))
+	us := uint64(d.Microseconds())
+	idx := len(fsyncBoundsUs)
+	for i, hi := range fsyncBoundsUs {
+		if us <= hi {
+			idx = i
+			break
+		}
+	}
+	c.fsyncHist[idx].Add(1)
+	if batch == 0 {
+		return // records were already durable (sealed by rotation)
+	}
+	bidx := len(batchBounds)
+	for i, hi := range batchBounds {
+		if batch <= hi {
+			bidx = i
+			break
+		}
+	}
+	c.batchHist[bidx].Add(1)
+}
+
+// Stats is a point-in-time snapshot of one Log (or, via Aggregate, of
+// every live Log in the process).
+type Stats struct {
+	// Appends counts records written; AppendBytes their framed size.
+	Appends     uint64 `json:"appends"`
+	AppendBytes uint64 `json:"append_bytes"`
+	// Fsyncs counts physical data syncs; FsyncMeanUs is the mean latency
+	// and FsyncHist the latency histogram. BatchHist buckets each group
+	// commit by how many records one fsync made durable.
+	Fsyncs      uint64            `json:"fsyncs"`
+	FsyncMeanUs float64           `json:"fsync_mean_us"`
+	FsyncHist   map[string]uint64 `json:"fsync_latency_hist"`
+	BatchHist   map[string]uint64 `json:"group_commit_batch_hist"`
+	// Segments / SealedBytes describe the live log structure; Rotations,
+	// Snapshots, CompactedSegments, and TornTails count lifecycle events.
+	Segments          int    `json:"segments"`
+	SealedBytes       int64  `json:"sealed_bytes"`
+	Rotations         uint64 `json:"rotations"`
+	Snapshots         uint64 `json:"snapshots"`
+	CompactedSegments uint64 `json:"compacted_segments"`
+	TornTails         uint64 `json:"torn_tails_truncated"`
+	// SnapshotLastMs / RecoveryLastMs are the most recent snapshot write
+	// and Replay durations; RecoveryRecords the records the last Replay
+	// applied.
+	SnapshotLastMs  float64 `json:"snapshot_last_ms"`
+	RecoveryLastMs  float64 `json:"recovery_last_ms"`
+	RecoveryRecords uint64  `json:"recovery_records"`
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	c := &l.stats
+	s := Stats{
+		Appends:           c.appends.Load(),
+		AppendBytes:       c.appendBytes.Load(),
+		Fsyncs:            c.fsyncs.Load(),
+		Rotations:         c.rotations.Load(),
+		Snapshots:         c.snapshots.Load(),
+		CompactedSegments: c.compacted.Load(),
+		TornTails:         c.tornTails.Load(),
+		SnapshotLastMs:    float64(c.snapshotNanos.Load()) / 1e6,
+		RecoveryLastMs:    float64(c.recoveryNanos.Load()) / 1e6,
+		RecoveryRecords:   c.recoveryRecords.Load(),
+		FsyncHist:         make(map[string]uint64),
+		BatchHist:         make(map[string]uint64),
+	}
+	if s.Fsyncs > 0 {
+		s.FsyncMeanUs = float64(c.fsyncNanos.Load()) / 1e3 / float64(s.Fsyncs)
+	}
+	for i, name := range fsyncLabels {
+		if n := c.fsyncHist[i].Load(); n > 0 {
+			s.FsyncHist[name] = n
+		}
+	}
+	for i, name := range batchLabels {
+		if n := c.batchHist[i].Load(); n > 0 {
+			s.BatchHist[name] = n
+		}
+	}
+	l.mu.Lock()
+	s.Segments = len(l.sealed)
+	if l.ready && !l.closed {
+		s.Segments++ // the active segment
+	}
+	for _, seg := range l.sealed {
+		s.SealedBytes += seg.size
+	}
+	l.mu.Unlock()
+	return s
+}
+
+// Merge folds other into s (histograms summed key-wise; "last" gauges
+// take the maximum, which aggregates to "worst recent" across logs).
+func (s *Stats) Merge(other Stats) {
+	totalNanosA := s.FsyncMeanUs * 1e3 * float64(s.Fsyncs)
+	totalNanosB := other.FsyncMeanUs * 1e3 * float64(other.Fsyncs)
+	s.Appends += other.Appends
+	s.AppendBytes += other.AppendBytes
+	s.Fsyncs += other.Fsyncs
+	if s.Fsyncs > 0 {
+		s.FsyncMeanUs = (totalNanosA + totalNanosB) / 1e3 / float64(s.Fsyncs)
+	}
+	s.Segments += other.Segments
+	s.SealedBytes += other.SealedBytes
+	s.Rotations += other.Rotations
+	s.Snapshots += other.Snapshots
+	s.CompactedSegments += other.CompactedSegments
+	s.TornTails += other.TornTails
+	s.RecoveryRecords += other.RecoveryRecords
+	if other.SnapshotLastMs > s.SnapshotLastMs {
+		s.SnapshotLastMs = other.SnapshotLastMs
+	}
+	if other.RecoveryLastMs > s.RecoveryLastMs {
+		s.RecoveryLastMs = other.RecoveryLastMs
+	}
+	if s.FsyncHist == nil {
+		s.FsyncHist = make(map[string]uint64)
+	}
+	for k, v := range other.FsyncHist {
+		s.FsyncHist[k] += v
+	}
+	if s.BatchHist == nil {
+		s.BatchHist = make(map[string]uint64)
+	}
+	for k, v := range other.BatchHist {
+		s.BatchHist[k] += v
+	}
+}
+
+// registry tracks live Logs for process-wide aggregation.
+var (
+	regMu    sync.Mutex
+	registry = make(map[*Log]struct{})
+)
+
+func register(l *Log) {
+	regMu.Lock()
+	registry[l] = struct{}{}
+	regMu.Unlock()
+}
+
+func unregister(l *Log) {
+	regMu.Lock()
+	delete(registry, l)
+	regMu.Unlock()
+}
+
+// Aggregate merges the stats of every live Log in the process.
+func Aggregate() Stats {
+	regMu.Lock()
+	logs := make([]*Log, 0, len(registry))
+	for l := range registry {
+		logs = append(logs, l)
+	}
+	regMu.Unlock()
+	var out Stats
+	out.FsyncHist = make(map[string]uint64)
+	out.BatchHist = make(map[string]uint64)
+	for _, l := range logs {
+		out.Merge(l.Stats())
+	}
+	return out
+}
+
+func init() {
+	expvar.Publish("datablinder_store", expvar.Func(func() any { return Aggregate() }))
+}
