@@ -12,6 +12,7 @@
 //	blinderbench -experiment sharding # 1/2/4/8-shard cloud-tier scaling
 //	blinderbench -experiment coalesce # write-path group commit A/B
 //	blinderbench -experiment persist  # WAL vs text-AOF durability + recovery
+//	blinderbench -experiment planner  # adaptive tactic planner vs static assignments
 //	blinderbench -requests 151000 -users 1000   # the paper's full scale
 //
 // Each scenario runs against a fresh in-process cloud node over the
@@ -36,7 +37,8 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | coalesce | wire | persist | all")
+	experiment := flag.String("experiment", "all", "fig5 | latency | concurrency | hotpath | sharding | coalesce | wire | persist | planner | all")
+	plannerOut := flag.String("planner-out", "BENCH_planner.json", "output path for the planner experiment's JSON result")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the hotpath experiment's JSON result")
 	persistOut := flag.String("persist-out", "BENCH_persist.json", "output path for the persist experiment's JSON result")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "output path for the wire experiment's JSON result")
@@ -54,16 +56,35 @@ func main() {
 		}
 	})
 
-	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut, *coalesceOut, *wireOut, *persistOut); err != nil {
+	if err := run(*experiment, *users, *requests, *seed, *netDelay, netDelaySet, *hotpathOut, *shardingOut, *coalesceOut, *wireOut, *persistOut, *plannerOut); err != nil {
 		log.Fatalf("blinderbench: %v", err)
 	}
 }
 
-func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut, coalesceOut, wireOut, persistOut string) error {
+func run(experiment string, users, requests int, seed int64, netDelay time.Duration, netDelaySet bool, hotpathOut, shardingOut, coalesceOut, wireOut, persistOut, plannerOut string) error {
 	switch experiment {
-	case "fig5", "latency", "concurrency", "hotpath", "sharding", "coalesce", "wire", "persist", "all":
+	case "fig5", "latency", "concurrency", "hotpath", "sharding", "coalesce", "wire", "persist", "planner", "all":
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, coalesce, wire, persist, or all)", experiment)
+		return fmt.Errorf("unknown experiment %q (want fig5, latency, concurrency, hotpath, sharding, coalesce, wire, persist, planner, or all)", experiment)
+	}
+
+	if experiment == "planner" || experiment == "all" {
+		cfg := bench.DefaultPlannerConfig()
+		cfg.Seed = seed
+		fmt.Fprintf(os.Stderr, "running planner experiment (rf corpus %d, %d inserts + %d queries per arm, %d callers)...\n",
+			cfg.ReadCorpus, cfg.Inserts, cfg.Queries, cfg.Callers)
+		r, err := bench.RunPlanner(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatPlanner(r))
+		if err := bench.WritePlannerJSON(r, plannerOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", plannerOut)
+		if experiment == "planner" {
+			return nil
+		}
 	}
 
 	if experiment == "persist" || experiment == "all" {

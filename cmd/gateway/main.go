@@ -17,6 +17,16 @@
 //	agg <schema> <field> <fn> [<where-field>=<value>]  aggregate (sum/avg/count/min/max)
 //	plan <schema> <field>             show a field's tactic plan
 //	count <schema>                    count stored documents
+//	replan                            re-evaluate unpinned fields against live costs
+//	migrate <schema> <field> <tactic> online re-index one field onto a tactic
+//	tactic-stats                      dump live per-tactic cost counters
+//
+// With -planner, schema registration picks the cheapest tactic satisfying
+// each field's leakage budget instead of the classic
+// highest-tolerated-leakage rule, and -replan-interval starts a background
+// loop that migrates fields whose plan the live cost model has overtaken
+// (a one-shot CLI process exits before the loop matters; the flag is for
+// long-running embeddings of this command).
 //
 // The master key file is created on first use; the state file persists
 // tactic counters and schemas across gateway restarts.
@@ -52,6 +62,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	noCoalesce := flag.Bool("no-coalesce", false, "disable cross-caller write coalescing (per-shard group commit)")
 	wireJSON := flag.Bool("wire-json", false, "pin the cloud channel to v1 JSON framing instead of negotiating the binary wire codec")
+	planner := flag.Bool("planner", false, "cost-based tactic selection: pick the cheapest tactic within each field's leakage budget")
+	replanInterval := flag.Duration("replan-interval", 0, "with -planner, re-evaluate plans against live costs at this interval (0 = only on explicit replan)")
 	flag.Parse()
 
 	stopPprof, err := pprofserve.Start(*pprofAddr)
@@ -74,6 +86,8 @@ func main() {
 		FsyncPolicy:       *fsync,
 		DisableCoalescing: *noCoalesce,
 		DisableBinaryWire: *wireJSON,
+		Planner:           *planner,
+		ReplanInterval:    *replanInterval,
 	}
 	if *shardAddrs != "" {
 		for _, addr := range strings.Split(*shardAddrs, ",") {
@@ -116,6 +130,12 @@ func dispatch(ctx context.Context, client *datablinder.Client, args []string) er
 		return cmdPlan(client, rest)
 	case "count":
 		return cmdCount(ctx, client, rest)
+	case "replan":
+		return cmdReplan(ctx, client, rest)
+	case "migrate":
+		return cmdMigrate(ctx, client, rest)
+	case "tactic-stats":
+		return printJSON(client.TacticStats())
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -284,6 +304,35 @@ func cmdCount(ctx context.Context, client *datablinder.Client, args []string) er
 		return err
 	}
 	fmt.Println(n)
+	return nil
+}
+
+func cmdReplan(ctx context.Context, client *datablinder.Client, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("replan takes no arguments")
+	}
+	migrated, err := client.Replan(ctx)
+	if err != nil {
+		return err
+	}
+	if len(migrated) == 0 {
+		fmt.Println("all plans already optimal")
+		return nil
+	}
+	for _, f := range migrated {
+		fmt.Printf("migrated %s\n", f)
+	}
+	return nil
+}
+
+func cmdMigrate(ctx context.Context, client *datablinder.Client, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("migrate <schema> <field> <tactic>")
+	}
+	if err := client.Migrate(ctx, args[0], args[1], args[2]); err != nil {
+		return err
+	}
+	fmt.Printf("migrated %s.%s to %s\n", args[0], args[1], args[2])
 	return nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"datablinder/internal/cloud"
 	"datablinder/internal/cloud/ring"
@@ -41,6 +42,7 @@ import (
 	"datablinder/internal/core"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
+	"datablinder/internal/planner"
 	"datablinder/internal/spi"
 	"datablinder/internal/store/kvstore"
 	"datablinder/internal/store/wal"
@@ -215,6 +217,25 @@ type Options struct {
 	// FsyncPolicy selects WAL durability for the local store and any
 	// in-process cloud node: "always", "interval" (default), or "never".
 	FsyncPolicy string
+
+	// Planner enables cost-based tactic selection: new plans pick the
+	// cheapest tactic satisfying the field's leakage budget (live
+	// measurements first, descriptor cost priors before any exist)
+	// instead of the classic highest-tolerated-leakage rule. Annotation
+	// tactic pins remain hard overrides either way.
+	Planner bool
+	// ReplanInterval, with Planner set, starts a background loop that
+	// periodically re-evaluates every unpinned field against the live
+	// cost model and online re-indexes fields whose plan is beaten by at
+	// least the hysteresis margin. Zero means no background loop — call
+	// Client.Replan explicitly.
+	ReplanInterval time.Duration
+	// PlannerHysteresis is the fractional cost advantage a challenger
+	// plan needs before a replan triggers a migration (default 0.3).
+	PlannerHysteresis float64
+	// MigrateThrottle pauses online re-index scans between batches to
+	// bound the migration's impact on live traffic.
+	MigrateThrottle time.Duration
 }
 
 // Client is the application-facing gateway handle (the Schema, Entities
@@ -333,11 +354,15 @@ func Open(ctx context.Context, opts Options) (*Client, error) {
 		return nil, err
 	}
 	engine, err := core.NewEngine(core.Config{
-		Keys:     provider,
-		Cloud:    client.conn,
-		Local:    local,
-		Registry: registry,
-		Coalesce: coalesce.Options{Disabled: opts.DisableCoalescing},
+		Keys:              provider,
+		Cloud:             client.conn,
+		Local:             local,
+		Registry:          registry,
+		Coalesce:          coalesce.Options{Disabled: opts.DisableCoalescing},
+		Planner:           opts.Planner,
+		ReplanInterval:    opts.ReplanInterval,
+		PlannerHysteresis: opts.PlannerHysteresis,
+		MigrateThrottle:   opts.MigrateThrottle,
 	})
 	if err != nil {
 		client.Close()
@@ -361,12 +386,12 @@ func shardConn(conns []transport.Conn, vnodes int) transport.Conn {
 	return ring.NewClient(conns, vnodes)
 }
 
-// Close drains the write coalescers and releases the cloud connection and
-// local state. It is idempotent.
+// Close stops background planner work, drains the write coalescers, and
+// releases the cloud connection and local state. It is idempotent.
 func (c *Client) Close() error {
 	var first error
 	if c.engine != nil {
-		c.engine.Drain()
+		c.engine.Close()
 	}
 	if c.conn != nil {
 		if err := c.conn.Close(); err != nil && first == nil {
@@ -420,6 +445,30 @@ func (c *Client) FieldPlan(schema, field string) (ops map[Op]string, aggs map[Ag
 	}
 	return plan.ByOp, plan.ByAgg, cls, nil
 }
+
+// TacticStats snapshots the live per-tactic per-operation cost counters
+// (EWMA latency, sample counts) feeding the planner. The same numbers are
+// exported process-wide on /debug/vars as "datablinder_tactics".
+func (c *Client) TacticStats() planner.Snapshot { return c.engine.TacticStats() }
+
+// Replan re-evaluates every unpinned sensitive field against the live
+// cost model and online re-indexes those whose current plan is beaten by
+// at least the hysteresis margin. It returns the "schema.field" names it
+// migrated. Fields pinned via annotation `tactic [...]` are never touched.
+func (c *Client) Replan(ctx context.Context) ([]string, error) {
+	return c.engine.Replan(ctx)
+}
+
+// Migrate re-indexes one field onto the named tactic online: existing
+// documents are re-indexed in background batches while reads and writes
+// continue, then the plan cuts over atomically. It returns
+// core.ErrMigrationActive when the field is already migrating.
+func (c *Client) Migrate(ctx context.Context, schema, field, tactic string) error {
+	return c.engine.Migrate(ctx, schema, field, tactic)
+}
+
+// MigrationsActive lists the "schema.field" names currently mid-migration.
+func (c *Client) MigrationsActive() []string { return c.engine.MigrationsActive() }
 
 // Entities returns the data-access handle for one schema (the Entities
 // interface).

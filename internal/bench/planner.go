@@ -1,0 +1,559 @@
+// Planner experiment: A/B-measures adaptive cost-based tactic selection
+// against every static single-tactic assignment on a mixed range workload.
+//
+// The schema carries two C5 range fields with opposite workload shapes:
+// wf is write-heavy (a stream of inserts, occasional range queries), rf is
+// read-heavy (a settled corpus, a stream of range queries). The range
+// tactic spectrum prices them oppositely — OPE pays an expensive mutable
+// encoding per insert but answers ranges with a sorted-index scan, ORE
+// inserts cheaply but compare-scans the whole column per query — so any
+// static assignment is wrong for one of the two fields. The adaptive arm
+// starts both fields on the priors' pick, observes the live workload, and
+// lets Replan online re-index each field onto the tactic its own traffic
+// mix favors.
+//
+// Each arm runs two engine generations over the same stores, mirroring a
+// production restart: the first generation registers the schema and seeds
+// the corpus, the second observes only the probe workload — so the
+// planner's per-field rates reflect the live traffic window, not corpus
+// construction.
+//
+// The adaptive arm's re-index runs under live verified traffic: a driver
+// issues range queries (checked against the known corpus) and dual-write
+// inserts while Replan migrates, and the result records how many queries
+// were answered mid-migration and how many came back wrong (which must be
+// zero). The measured phase then runs the identical mixed workload on all
+// arms; every rf query is verified in every arm.
+
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cloudnode "datablinder/internal/cloud"
+	"datablinder/internal/core"
+	"datablinder/internal/keys"
+	"datablinder/internal/model"
+	"datablinder/internal/store/kvstore"
+	"datablinder/internal/tactics"
+	"datablinder/internal/transport"
+)
+
+// PlannerConfig parameterizes the planner experiment.
+type PlannerConfig struct {
+	// ReadCorpus is the rf corpus size seeded before measurement.
+	ReadCorpus int
+	// WriteSeed is the wf corpus size seeded before measurement (so wf
+	// range queries have matches).
+	WriteSeed int
+	// ProbeInserts / ProbeQueries shape the unmeasured probe workload the
+	// planner's rates and EWMAs are fed by: wf inserts and rf range
+	// queries (each at least planner.MinSamples).
+	ProbeInserts int
+	ProbeQueries int
+	// Inserts / Queries / LiveInserts / WfQueries compose the measured
+	// mixed workload: wf inserts, verified rf range queries, rf inserts
+	// landing outside the queried value window, and wf range queries.
+	Inserts     int
+	Queries     int
+	LiveInserts int
+	WfQueries   int
+	// QueryWidth is the rf range queries' value-window width.
+	QueryWidth int
+	// Callers is the workload concurrency.
+	Callers int
+	// MigrateThrottle paces the adaptive arm's online re-index batches.
+	MigrateThrottle time.Duration
+	// Seed fixes the workload interleaving and query windows.
+	Seed int64
+}
+
+// DefaultPlannerConfig returns a laptop-scale configuration: corpus and
+// workload sized so the static arms' mispriced side (OPE's inserts, ORE's
+// scans) dominates their wall clock.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		ReadCorpus: 1000, WriteSeed: 64,
+		ProbeInserts: 120, ProbeQueries: 40,
+		Inserts: 400, Queries: 300, LiveInserts: 40, WfQueries: 20,
+		QueryWidth: 16, Callers: 8,
+		MigrateThrottle: 2 * time.Millisecond,
+		Seed:            1,
+	}
+}
+
+// PlannerArm is one measured configuration's result.
+type PlannerArm struct {
+	Name string `json:"name"`
+	// PlanWF / PlanRF are the tactics serving each field's range queries
+	// during the measured phase.
+	PlanWF string `json:"plan_wf"`
+	PlanRF string `json:"plan_rf"`
+	// WallMs / Throughput cover the measured mixed workload.
+	WallMs     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_per_s"`
+	// InsertAvgMs / QueryAvgMs break the workload down by kind (wf
+	// inserts vs rf range queries).
+	InsertAvgMs float64 `json:"insert_avg_ms"`
+	QueryAvgMs  float64 `json:"query_avg_ms"`
+	// WrongResults counts verified rf queries whose result set differed
+	// from the plaintext ground truth. Must be zero.
+	WrongResults int `json:"wrong_results"`
+}
+
+// PlannerResult carries every arm plus the adaptive arm's migration
+// telemetry and the derived speedups.
+type PlannerResult struct {
+	Arms []PlannerArm `json:"arms"`
+	// Migrated lists the fields Replan moved in the adaptive arm.
+	Migrated []string `json:"migrated"`
+	// MigrationWallMs is how long the adaptive arm's Replan (including
+	// its synchronous online re-indexes) took.
+	MigrationWallMs float64 `json:"migration_wall_ms"`
+	// QueriesDuringMigration / WrongDuringMigration count the verified
+	// queries the live driver issued while a re-index was in flight, and
+	// how many were wrong (must be zero).
+	QueriesDuringMigration int `json:"queries_during_migration"`
+	WrongDuringMigration   int `json:"wrong_during_migration"`
+	// SpeedupVsWorst / SpeedupVsBest compare adaptive throughput to the
+	// static arms.
+	SpeedupVsWorst float64       `json:"speedup_vs_worst_static"`
+	SpeedupVsBest  float64       `json:"speedup_vs_best_static"`
+	Config         PlannerConfig `json:"config"`
+	// Meta is stamped by WritePlannerJSON.
+	Meta Meta `json:"meta"`
+}
+
+// plannerSchema builds the two-field range schema; pin pins both fields
+// to one tactic ("" leaves selection to the engine).
+func plannerSchema(pin string) *model.Schema {
+	ann := "C5, op [I, RG]"
+	if pin != "" {
+		ann = fmt.Sprintf("%s, tactic [%s]", ann, pin)
+	}
+	a, err := model.ParseAnnotation(ann)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Schema{
+		Name: "planbench",
+		Fields: []model.Field{
+			{Name: "wf", Type: model.TypeFloat, Sensitive: true, Annotation: a},
+			{Name: "rf", Type: model.TypeFloat, Sensitive: true, Annotation: a},
+		},
+	}
+}
+
+// plannerEnv is one arm's deployment: a single in-process cloud node and
+// the gateway stores both engine generations share.
+type plannerEnv struct {
+	node  *cloudnode.Node
+	local *kvstore.Store
+	keys  keys.Provider
+}
+
+func newPlannerEnv() (*plannerEnv, error) {
+	node, err := cloudnode.NewNode(cloudnode.Options{})
+	if err != nil {
+		return nil, err
+	}
+	kp, err := keys.NewRandomStore()
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	return &plannerEnv{node: node, local: kvstore.New(), keys: kp}, nil
+}
+
+func (env *plannerEnv) close() {
+	env.node.Close()
+	env.local.Close()
+}
+
+func (env *plannerEnv) engine(cfg PlannerConfig, planner bool) (*core.Engine, error) {
+	registry, err := tactics.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(core.Config{
+		Keys:     env.keys,
+		Cloud:    transport.NewLoopback(env.node.Mux),
+		Local:    env.local,
+		Registry: registry,
+		Planner:  planner,
+		MigrateThrottle: func() time.Duration {
+			if planner {
+				return cfg.MigrateThrottle
+			}
+			return 0
+		}(),
+	})
+}
+
+// Value windows. Reader corpus values live at rfBase+i, live inserts land
+// above rfLive (outside every query window), wf docs at their own offsets.
+const (
+	rfBase      = 10_000
+	rfLive      = 50_000
+	rfTransient = 60_000
+	wfBase      = 0
+	wfStream    = 30_000
+)
+
+func wfDoc(v float64) *model.Document {
+	return &model.Document{Fields: map[string]any{"wf": v}}
+}
+
+func rfDoc(v float64) *model.Document {
+	return &model.Document{Fields: map[string]any{"rf": v}}
+}
+
+// plannerCorpus tracks the verified rf corpus: ids by value index.
+type plannerCorpus struct {
+	ids []string // ids[i] holds the document with rf = rfBase+i
+}
+
+// expect returns the sorted ids of corpus docs with value index in
+// [lo, hi] (inclusive).
+func (c *plannerCorpus) expect(lo, hi int) []string {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(c.ids) {
+		hi = len(c.ids) - 1
+	}
+	var out []string
+	for i := lo; i <= hi; i++ {
+		out = append(out, c.ids[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// verifyQuery runs one rf range query over [lo, hi] value indexes and
+// reports whether the result matched the ground truth.
+func verifyQuery(ctx context.Context, engine *core.Engine, corpus *plannerCorpus, lo, hi int) (bool, error) {
+	got, err := engine.SearchIDs(ctx, "planbench",
+		core.Between("rf", float64(rfBase+lo), float64(rfBase+hi)))
+	if err != nil {
+		return false, err
+	}
+	want := corpus.expect(lo, hi)
+	if len(got) != len(want) {
+		return false, nil
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// plannerOp is one measured-workload operation.
+type plannerOp struct {
+	kind int // 0 wf insert, 1 rf verified query, 2 rf live insert, 3 wf query
+	idx  int
+	lo   int // query window (kinds 1, 3)
+}
+
+const (
+	opWfInsert = iota
+	opRfQuery
+	opRfLiveInsert
+	opWfQuery
+)
+
+// plannerWorkload builds the deterministic interleaved measured workload.
+func plannerWorkload(cfg PlannerConfig, rng *rand.Rand) []plannerOp {
+	ops := make([]plannerOp, 0, cfg.Inserts+cfg.Queries+cfg.LiveInserts+cfg.WfQueries)
+	for i := 0; i < cfg.Inserts; i++ {
+		ops = append(ops, plannerOp{kind: opWfInsert, idx: i})
+	}
+	for i := 0; i < cfg.Queries; i++ {
+		ops = append(ops, plannerOp{kind: opRfQuery, idx: i, lo: rng.Intn(cfg.ReadCorpus - cfg.QueryWidth)})
+	}
+	for i := 0; i < cfg.LiveInserts; i++ {
+		ops = append(ops, plannerOp{kind: opRfLiveInsert, idx: i})
+	}
+	for i := 0; i < cfg.WfQueries; i++ {
+		ops = append(ops, plannerOp{kind: opWfQuery, idx: i, lo: rng.Intn(cfg.WriteSeed)})
+	}
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	return ops
+}
+
+// runPlannerArm measures one arm end to end. pin == "" runs the adaptive
+// arm: planner engines, a Replan under live verified traffic between the
+// probe and the measured phase.
+func runPlannerArm(ctx context.Context, cfg PlannerConfig, name, pin string, r *PlannerResult) (PlannerArm, error) {
+	arm := PlannerArm{Name: name}
+	adaptive := pin == ""
+
+	env, err := newPlannerEnv()
+	if err != nil {
+		return arm, err
+	}
+	defer env.close()
+
+	// Generation 1: register the schema and seed the corpus.
+	gen1, err := env.engine(cfg, adaptive)
+	if err != nil {
+		return arm, err
+	}
+	if err := gen1.RegisterSchema(ctx, plannerSchema(pin)); err != nil {
+		gen1.Close()
+		return arm, err
+	}
+	corpus := &plannerCorpus{ids: make([]string, cfg.ReadCorpus)}
+	for i := 0; i < cfg.ReadCorpus; i++ {
+		id, err := gen1.Insert(ctx, "planbench", rfDoc(float64(rfBase+i)))
+		if err != nil {
+			gen1.Close()
+			return arm, fmt.Errorf("bench: planner corpus: %w", err)
+		}
+		corpus.ids[i] = id
+	}
+	for i := 0; i < cfg.WriteSeed; i++ {
+		if _, err := gen1.Insert(ctx, "planbench", wfDoc(float64(wfBase+i))); err != nil {
+			gen1.Close()
+			return arm, err
+		}
+	}
+	gen1.Close()
+
+	// Generation 2: the restarted gateway that observes only live traffic.
+	engine, err := env.engine(cfg, adaptive)
+	if err != nil {
+		return arm, err
+	}
+	defer engine.Close()
+	if err := engine.LoadSchemas(ctx); err != nil {
+		return arm, err
+	}
+
+	// Probe: feed the cost model the live workload shape (unmeasured,
+	// identical in every arm).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.ProbeInserts; i++ {
+		if _, err := engine.Insert(ctx, "planbench", wfDoc(float64(wfStream+i))); err != nil {
+			return arm, err
+		}
+	}
+	for i := 0; i < cfg.ProbeQueries; i++ {
+		lo := rng.Intn(cfg.ReadCorpus - cfg.QueryWidth)
+		ok, err := verifyQuery(ctx, engine, corpus, lo, lo+cfg.QueryWidth-1)
+		if err != nil {
+			return arm, err
+		}
+		if !ok {
+			arm.WrongResults++
+		}
+	}
+
+	if adaptive {
+		// Replan under live verified traffic: a driver queries and
+		// dual-writes while the online re-index runs.
+		stop := make(chan struct{})
+		var during, wrong, transient int
+		var driverErr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := rng.Intn(cfg.ReadCorpus - cfg.QueryWidth)
+				mid := len(engine.MigrationsActive()) > 0
+				ok, err := verifyQuery(ctx, engine, corpus, lo, lo+cfg.QueryWidth-1)
+				if err != nil {
+					driverErr = err
+					return
+				}
+				if mid {
+					during++
+					if !ok {
+						wrong++
+					}
+				} else if !ok {
+					wrong++
+				}
+				if i%4 == 0 { // dual-write inserts through the window
+					if _, err := engine.Insert(ctx, "planbench", rfDoc(float64(rfTransient+transient))); err != nil {
+						driverErr = err
+						return
+					}
+					transient++
+				}
+			}
+		}()
+		t0 := time.Now()
+		migrated, err := engine.Replan(ctx)
+		r.MigrationWallMs = float64(time.Since(t0).Microseconds()) / 1e3
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			return arm, fmt.Errorf("bench: replan: %w", err)
+		}
+		if driverErr != nil {
+			return arm, fmt.Errorf("bench: migration driver: %w", driverErr)
+		}
+		r.Migrated = migrated
+		r.QueriesDuringMigration = during
+		r.WrongDuringMigration = wrong
+		arm.WrongResults += wrong
+	}
+
+	for field, dst := range map[string]*string{"wf": &arm.PlanWF, "rf": &arm.PlanRF} {
+		plan, err := engine.Plan("planbench", field)
+		if err != nil {
+			return arm, err
+		}
+		*dst = plan.ByOp[model.OpRange]
+	}
+
+	// Measured phase: the identical mixed workload in every arm.
+	ops := plannerWorkload(cfg, rand.New(rand.NewSource(cfg.Seed+1)))
+	var wrongCnt, insertNs, insertCnt, queryNs, queryCnt atomic.Int64
+	errs := make([]error, cfg.Callers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < cfg.Callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ops); i += cfg.Callers {
+				op := ops[i]
+				opStart := time.Now()
+				switch op.kind {
+				case opWfInsert:
+					if _, err := engine.Insert(ctx, "planbench", wfDoc(float64(wfStream+cfg.ProbeInserts+op.idx))); err != nil {
+						errs[w] = err
+						return
+					}
+					insertNs.Add(time.Since(opStart).Nanoseconds())
+					insertCnt.Add(1)
+				case opRfQuery:
+					ok, err := verifyQuery(ctx, engine, corpus, op.lo, op.lo+cfg.QueryWidth-1)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !ok {
+						wrongCnt.Add(1)
+					}
+					queryNs.Add(time.Since(opStart).Nanoseconds())
+					queryCnt.Add(1)
+				case opRfLiveInsert:
+					if _, err := engine.Insert(ctx, "planbench", rfDoc(float64(rfLive+op.idx))); err != nil {
+						errs[w] = err
+						return
+					}
+				case opWfQuery:
+					if _, err := engine.SearchIDs(ctx, "planbench",
+						core.Between("wf", float64(wfBase+op.lo), float64(wfBase+op.lo+cfg.QueryWidth))); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return arm, fmt.Errorf("bench: planner workload: %w", err)
+		}
+	}
+	arm.WrongResults += int(wrongCnt.Load())
+	arm.WallMs = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		arm.Throughput = float64(len(ops)) / elapsed.Seconds()
+	}
+	if n := insertCnt.Load(); n > 0 {
+		arm.InsertAvgMs = float64(insertNs.Load()) / float64(n) / 1e6
+	}
+	if n := queryCnt.Load(); n > 0 {
+		arm.QueryAvgMs = float64(queryNs.Load()) / float64(n) / 1e6
+	}
+	return arm, nil
+}
+
+// RunPlanner runs the static arms and the adaptive arm and derives the
+// speedups.
+func RunPlanner(ctx context.Context, cfg PlannerConfig) (PlannerResult, error) {
+	r := PlannerResult{Config: cfg}
+	arms := []struct{ name, pin string }{
+		{"static-OPE", "OPE"},
+		{"static-ORE", "ORE"},
+		{"adaptive", ""},
+	}
+	var adaptive PlannerArm
+	var worst, best float64
+	for _, a := range arms {
+		arm, err := runPlannerArm(ctx, cfg, a.name, a.pin, &r)
+		if err != nil {
+			return r, err
+		}
+		r.Arms = append(r.Arms, arm)
+		if a.pin == "" {
+			adaptive = arm
+		} else {
+			if worst == 0 || arm.Throughput < worst {
+				worst = arm.Throughput
+			}
+			if arm.Throughput > best {
+				best = arm.Throughput
+			}
+		}
+	}
+	if worst > 0 {
+		r.SpeedupVsWorst = adaptive.Throughput / worst
+	}
+	if best > 0 {
+		r.SpeedupVsBest = adaptive.Throughput / best
+	}
+	return r, nil
+}
+
+// WritePlannerJSON stamps provenance and persists the result.
+func WritePlannerJSON(r PlannerResult, path string) error {
+	r.Meta = CollectMeta()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatPlanner renders the arms as a table.
+func FormatPlanner(r PlannerResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Planner experiment (rf corpus %d, %d inserts + %d verified queries + %d live inserts, %d callers)\n\n",
+		r.Config.ReadCorpus, r.Config.Inserts, r.Config.Queries, r.Config.LiveInserts, r.Config.Callers)
+	fmt.Fprintf(&b, "%12s %8s %8s %10s %10s %11s %11s %7s\n",
+		"arm", "wf", "rf", "wall ms", "ops/s", "insert ms", "query ms", "wrong")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%12s %8s %8s %10.1f %10.1f %11.3f %11.3f %7d\n",
+			a.Name, a.PlanWF, a.PlanRF, a.WallMs, a.Throughput, a.InsertAvgMs, a.QueryAvgMs, a.WrongResults)
+	}
+	fmt.Fprintf(&b, "\nadaptive vs worst static %.2fx, vs best static %.2fx\n",
+		r.SpeedupVsWorst, r.SpeedupVsBest)
+	fmt.Fprintf(&b, "replan migrated %v in %.1f ms; %d verified queries answered mid-migration, %d wrong\n",
+		r.Migrated, r.MigrationWallMs, r.QueriesDuringMigration, r.WrongDuringMigration)
+	return b.String()
+}

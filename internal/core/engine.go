@@ -28,6 +28,7 @@ import (
 	"datablinder/internal/crypto/primitives"
 	"datablinder/internal/keys"
 	"datablinder/internal/model"
+	"datablinder/internal/planner"
 	"datablinder/internal/spi"
 	"datablinder/internal/store/docstore"
 	"datablinder/internal/store/kvstore"
@@ -66,6 +67,26 @@ type Config struct {
 	// every RPC individually — the pre-coalescing behavior, kept as the
 	// benchmark baseline.
 	Coalesce coalesce.Options
+	// Planner enables cost-based tactic selection: new plans pick the
+	// cheapest tactic satisfying the leakage budget (live measurements
+	// first, descriptor cost priors before any exist) instead of the
+	// classic highest-tolerated-leakage rule. Annotation pins remain hard
+	// overrides either way.
+	Planner bool
+	// ReplanInterval, when Planner is set and the interval is positive,
+	// starts a background loop that periodically re-evaluates every
+	// unpinned field against the live cost model and migrates fields whose
+	// current plan is beaten by at least the hysteresis margin.
+	ReplanInterval time.Duration
+	// PlannerHysteresis is the fractional cost advantage a challenger plan
+	// needs before a replan triggers an online re-index (default 0.3: the
+	// new plan must be ≥30% cheaper). Guards against plan flapping on
+	// noisy measurements.
+	PlannerHysteresis float64
+	// MigrateThrottle pauses the online re-index between scan batches —
+	// a live-traffic rate limit, and the crash-injection tests' window
+	// for killing a migration mid-flight.
+	MigrateThrottle time.Duration
 }
 
 // Engine is the gateway-side middleware core.
@@ -78,11 +99,29 @@ type Engine struct {
 	registry   *spi.Registry
 	seq        bool
 
+	// stats is the engine-resident tactic cost model (EWMA latencies, RPC
+	// counts, per-field workload rates) feeding selection and replanning.
+	stats       *planner.Stats
+	priors      map[planner.Key]model.CostPrior
+	plannerOn   bool
+	hysteresis  float64
+	migThrottle time.Duration
+
+	// migMu serializes online re-indexes (one migration runs at a time).
+	migMu    sync.Mutex
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	bg       sync.WaitGroup
+
 	mu      sync.RWMutex
 	schemas map[string]*schemaRuntime
 }
 
-// schemaRuntime is one registered schema with its selected tactics.
+// schemaRuntime is one registered schema with its selected tactics. The
+// struct is immutable once published in Engine.schemas: plan changes swap
+// in a fresh copy (copy-on-write), so readers never observe a half-updated
+// plan map. The two locks are pointers shared across swaps, so exclusion
+// spans runtime generations.
 type schemaRuntime struct {
 	schema    *model.Schema
 	plans     map[string]spi.Plan   // field name -> plan
@@ -91,42 +130,108 @@ type schemaRuntime struct {
 
 	// docMu serializes Update/Delete flows, whose retrieve-reindex-rewrite
 	// sequences are not atomic; plain inserts need no lock (index counters
-	// are reserved atomically by the tactic clients).
-	docMu sync.Mutex
+	// are reserved atomically by the tactic clients). Online re-index scan
+	// batches also hold it, so scan writes never interleave a mutation.
+	docMu *sync.Mutex
+	// writers is read-locked by every write operation for its duration;
+	// a migration write-locks it once after swapping the runtime so that
+	// writers still using the pre-swap runtime (which lacks the dual-write
+	// hook) drain before the backfill scan starts.
+	writers *sync.RWMutex
+	// mig is the in-flight online re-index touching this schema, nil
+	// outside a dual-write window.
+	mig *migration
+}
+
+// clone copies the runtime for a copy-on-write swap. Lock pointers and
+// live tactic instances carry over; maps are copied shallowly.
+func (rt *schemaRuntime) clone() *schemaRuntime {
+	nrt := &schemaRuntime{
+		schema:    rt.schema,
+		plans:     make(map[string]spi.Plan, len(rt.plans)),
+		instances: make(map[string]spi.Tactic, len(rt.instances)),
+		aead:      rt.aead,
+		docMu:     rt.docMu,
+		writers:   rt.writers,
+		mig:       rt.mig,
+	}
+	for k, v := range rt.plans {
+		nrt.plans[k] = v
+	}
+	for k, v := range rt.instances {
+		nrt.instances[k] = v
+	}
+	return nrt
 }
 
 // NewEngine validates cfg and builds an engine. Unless disabled, every
 // shard connection is wrapped in a write coalescer: the wrapping preserves
 // ring placement exactly (same points, same virtual-node count), so
 // key→shard assignment — which the secure indexes depend on — is untouched.
+// A thin RPC-counting wrapper sits outside the coalescer on every shard
+// conn, so one caller-issued sub-call bills one RPC to its tactic however
+// it is batched downstream.
 func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Keys == nil || cfg.Cloud == nil || cfg.Local == nil || cfg.Registry == nil {
 		return nil, errors.New("core: Config requires Keys, Cloud, Local and Registry")
 	}
-	cloudConn := cfg.Cloud
+	stats := planner.NewStats()
+	priors := make(map[planner.Key]model.CostPrior)
+	for _, name := range cfg.Registry.Names() {
+		reg, err := cfg.Registry.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		for op, p := range reg.Descriptor.Perf.Costs {
+			priors[planner.Key{Tactic: name, Op: op}] = p
+		}
+	}
+	stats.SetPriors(priors)
+
 	var coals []*coalesce.Conn
+	base := ring.Of(cfg.Cloud)
 	if !cfg.Coalesce.Disabled {
-		wrapped := ring.Of(cfg.Cloud).WithConns(func(_ int, conn transport.Conn) transport.Conn {
+		base = base.WithConns(func(_ int, conn transport.Conn) transport.Conn {
 			cc := coalesce.New(conn, cfg.Coalesce)
 			coals = append(coals, cc)
 			return cc
 		})
-		if wrapped.N() == 1 {
-			cloudConn = wrapped.Conn(0)
-		} else {
-			cloudConn = ring.ClientOf(wrapped)
-		}
 	}
-	return &Engine{
-		keys:       cfg.Keys,
-		cloud:      cloudConn,
-		shards:     ring.Of(cloudConn),
-		coalescers: coals,
-		local:      cfg.Local,
-		registry:   cfg.Registry,
-		seq:        cfg.Sequential,
-		schemas:    make(map[string]*schemaRuntime),
-	}, nil
+	base = base.WithConns(func(_ int, conn transport.Conn) transport.Conn {
+		return planner.WrapConn(conn, stats)
+	})
+	var cloudConn transport.Conn
+	if base.N() == 1 {
+		cloudConn = base.Conn(0)
+	} else {
+		cloudConn = ring.ClientOf(base)
+	}
+	hyst := cfg.PlannerHysteresis
+	if hyst == 0 {
+		hyst = 0.3
+	}
+	e := &Engine{
+		keys:        cfg.Keys,
+		cloud:       cloudConn,
+		shards:      ring.Of(cloudConn),
+		coalescers:  coals,
+		local:       cfg.Local,
+		registry:    cfg.Registry,
+		seq:         cfg.Sequential,
+		stats:       stats,
+		priors:      priors,
+		plannerOn:   cfg.Planner,
+		hysteresis:  hyst,
+		migThrottle: cfg.MigrateThrottle,
+		stopCh:      make(chan struct{}),
+		schemas:     make(map[string]*schemaRuntime),
+	}
+	planner.Register(stats)
+	if cfg.Planner && cfg.ReplanInterval > 0 {
+		e.bg.Add(1)
+		go e.replanLoop(cfg.ReplanInterval)
+	}
+	return e, nil
 }
 
 // Drain flushes every per-shard write coalescer, blocking until the
@@ -140,6 +245,20 @@ func (e *Engine) Drain() {
 		c.Drain()
 	}
 }
+
+// Close stops background work (replan loop, resumed migrations), drains
+// the coalescers, and detaches the engine's cost counters from the
+// process-wide expvar export. The cloud connections and local store stay
+// open — they belong to the caller.
+func (e *Engine) Close() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	e.bg.Wait()
+	e.Drain()
+	planner.Unregister(e.stats)
+}
+
+// TacticStats snapshots the engine's live tactic cost counters.
+func (e *Engine) TacticStats() planner.Snapshot { return e.stats.Snapshot() }
 
 // CoalesceStats aggregates the per-shard write coalescers' counters
 // (zero-valued when coalescing is disabled).
@@ -156,6 +275,136 @@ func (e *Engine) CoalesceStats() coalesce.Stats {
 func (e *Engine) Registry() *spi.Registry { return e.registry }
 
 func schemaKey(name string) []byte { return []byte("schema/" + name) }
+
+// planKey stores a field's selected plan so restarts resume the *running*
+// plan, not whatever selection would pick today — after an online
+// re-index, selection and the live indexes would otherwise disagree.
+func planKey(schema, field string) []byte { return []byte("plan/" + schema + "/" + field) }
+
+// persistedPlan is the stored form of one field's plan.
+type persistedPlan struct {
+	ByOp    map[model.Op]string  `json:"by_op"`
+	ByAgg   map[model.Agg]string `json:"by_agg"`
+	Tactics []string             `json:"tactics"`
+}
+
+func toPersisted(p spi.Plan) persistedPlan {
+	return persistedPlan{ByOp: p.ByOp, ByAgg: p.ByAgg, Tactics: p.Tactics}
+}
+
+func (p persistedPlan) plan() spi.Plan {
+	return spi.Plan{ByOp: p.ByOp, ByAgg: p.ByAgg, Tactics: p.Tactics}
+}
+
+func (e *Engine) storePlan(schema, field string, p spi.Plan) error {
+	raw, err := json.Marshal(toPersisted(p))
+	if err != nil {
+		return fmt.Errorf("core: encoding plan: %w", err)
+	}
+	if err := e.local.Set(planKey(schema, field), raw); err != nil {
+		return fmt.Errorf("core: persisting plan: %w", err)
+	}
+	return nil
+}
+
+// loadPlan returns the persisted plan for a field, if one exists and still
+// satisfies the field's current annotation (pins, leakage ceiling, op
+// coverage, registered tactics). A stale or violating plan reports
+// ok=false so selection runs fresh — this is how an operator tightening a
+// field's protection class forces the next restart (or replan) off a
+// now-too-leaky tactic.
+func (e *Engine) loadPlan(schema string, f model.Field) (spi.Plan, bool) {
+	raw, ok, err := e.local.Get(planKey(schema, f.Name))
+	if err != nil || !ok {
+		return spi.Plan{}, false
+	}
+	var pp persistedPlan
+	if err := json.Unmarshal(raw, &pp); err != nil {
+		return spi.Plan{}, false
+	}
+	p := pp.plan()
+	if !e.planValid(f, p) {
+		return spi.Plan{}, false
+	}
+	return p, true
+}
+
+// planValid checks a plan against the field's current annotation.
+func (e *Engine) planValid(f model.Field, p spi.Plan) bool {
+	pinned := make(map[string]bool)
+	for _, n := range f.Annotation.Tactics {
+		pinned[n] = true
+	}
+	for _, n := range p.Tactics {
+		reg, err := e.registry.Lookup(n)
+		if err != nil {
+			return false
+		}
+		d := reg.Descriptor
+		if len(pinned) > 0 && !pinned[n] {
+			return false
+		}
+		if d.Leakage != 0 && !f.Annotation.Class.Tolerates(d.Leakage) {
+			return false
+		}
+	}
+	for _, op := range f.Annotation.Ops {
+		switch op {
+		case model.OpRead, model.OpUpdate, model.OpDelete:
+			continue
+		}
+		if _, ok := p.ByOp[op]; !ok {
+			return false
+		}
+	}
+	for _, agg := range f.Annotation.Aggs {
+		switch agg {
+		case model.AggCount, model.AggMin, model.AggMax:
+			continue
+		}
+		if _, ok := p.ByAgg[agg]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// prior returns the descriptor cost prior for one (tactic, op).
+func (e *Engine) prior(tactic string, op model.Op) model.CostPrior {
+	return e.priors[planner.Key{Tactic: tactic, Op: op}]
+}
+
+// costFn estimates per-(tactic, op) cost from live measurements, falling
+// back to calibrated descriptor priors (planner mode).
+func (e *Engine) costFn(schema string) spi.CostFn {
+	docs := float64(e.stats.Docs(schema))
+	return func(tactic string, op model.Op) (float64, bool) {
+		return e.stats.Cost(tactic, op, e.prior(tactic, op), docs)
+	}
+}
+
+// measuredCostFn estimates cost from live measurements only — the classic
+// selector's tie-breaker, which must never flip a default plan on priors
+// alone (deployments without the planner keep seed-identical selections
+// until real observations exist).
+func (e *Engine) measuredCostFn(schema string) spi.CostFn {
+	docs := float64(e.stats.Docs(schema))
+	return func(tactic string, op model.Op) (float64, bool) {
+		return e.stats.MeasuredCost(tactic, op, e.prior(tactic, op), docs)
+	}
+}
+
+// selectField runs tactic selection under the engine's configured policy.
+func (e *Engine) selectField(schema string, f model.Field, weights map[model.Op]float64) (spi.Plan, error) {
+	if e.plannerOn {
+		return e.registry.SelectWith(f, spi.SelectOptions{
+			Cheapest: true,
+			Cost:     e.costFn(schema),
+			Weights:  weights,
+		})
+	}
+	return e.registry.SelectWith(f, spi.SelectOptions{Cost: e.measuredCostFn(schema)})
+}
 
 // docRoute is the routing key placing one document's blob on a shard. It is
 // a pure function of (schema, id), so the id a document was inserted under
@@ -199,8 +448,10 @@ func (e *Engine) RegisterSchema(ctx context.Context, s *model.Schema) error {
 }
 
 // LoadSchemas restores previously registered schemas from the gateway
-// store (gateway restart). Selection is deterministic, so plans rebuild
-// identically.
+// store (gateway restart). Each field resumes its *persisted* plan when it
+// still satisfies the annotation (an online re-index may have moved it off
+// the default selection); otherwise selection runs fresh. Interrupted
+// online re-indexes found in the store are resumed in the background.
 func (e *Engine) LoadSchemas(ctx context.Context) error {
 	keysList, err := e.local.Keys([]byte("schema/"))
 	if err != nil {
@@ -232,7 +483,7 @@ func (e *Engine) LoadSchemas(ctx context.Context) error {
 		e.schemas[s.Name] = rt
 		e.mu.Unlock()
 	}
-	return nil
+	return e.resumeMigrations(ctx)
 }
 
 func (e *Engine) buildRuntime(ctx context.Context, s *model.Schema) (*schemaRuntime, error) {
@@ -240,13 +491,22 @@ func (e *Engine) buildRuntime(ctx context.Context, s *model.Schema) (*schemaRunt
 		schema:    s,
 		plans:     make(map[string]spi.Plan),
 		instances: make(map[string]spi.Tactic),
+		docMu:     &sync.Mutex{},
+		writers:   &sync.RWMutex{},
 	}
 	binding := spi.Binding{Schema: s.Name, Keys: e.keys, Cloud: e.cloud, Local: e.local}
 
 	for _, f := range s.SensitiveFields() {
-		plan, err := e.registry.Select(f)
-		if err != nil {
-			return nil, err
+		plan, ok := e.loadPlan(s.Name, f)
+		if !ok {
+			var err error
+			plan, err = e.selectField(s.Name, f, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.storePlan(s.Name, f.Name, plan); err != nil {
+				return nil, err
+			}
 		}
 		rt.plans[f.Name] = plan
 		for _, name := range plan.Tactics {
@@ -288,6 +548,31 @@ func (e *Engine) runtime(schema string) (*schemaRuntime, error) {
 		return nil, fmt.Errorf("%w: %q", ErrSchemaUnknown, schema)
 	}
 	return rt, nil
+}
+
+// writeRuntime returns the current runtime with its writers lock
+// read-held, retrying if a migration swapped the runtime between lookup
+// and lock. Once it returns, a migration's drain barrier waits for the
+// returned release func, so the writer provably sees the runtime's mig
+// state (a writer that missed the dual-write hook can never overlap the
+// backfill scan). Callers must invoke release when their index writes are
+// done.
+func (e *Engine) writeRuntime(schema string) (*schemaRuntime, func(), error) {
+	for {
+		rt, err := e.runtime(schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		rt.writers.RLock()
+		cur, err := e.runtime(schema)
+		if err == nil && cur == rt {
+			return rt, rt.writers.RUnlock, nil
+		}
+		rt.writers.RUnlock()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 }
 
 // Schemas returns the registered schema names, sorted.
@@ -494,77 +779,102 @@ func (e *Engine) runUnits(ctx context.Context, units []func(context.Context) err
 	return g.Wait()
 }
 
-// indexUnits builds the per-(tactic, field) work units of one document's
-// index maintenance. Units are independent: cross-field tactics receive a
-// single unit (their InsertDoc/DeleteDoc call is already atomic over the
-// document), per-field tactics one unit per field (tactic clients reserve
-// index counters atomically, so fields of one document may race safely).
-func (rt *schemaRuntime) indexUnits(doc *model.Document, insert bool) []func(context.Context) error {
+// tacticUnits builds the per-(tactic, field) work units maintaining one
+// tactic instance's index for a document, timing every unit into the cost
+// model. Units are independent: cross-field tactics receive a single unit
+// (their InsertDoc/DeleteDoc call is already atomic over the document),
+// per-field tactics one unit per field (tactic clients reserve index
+// counters atomically, so fields of one document may race safely).
+func (e *Engine) tacticUnits(schema, name string, inst spi.Tactic, docID string, fields map[string]any, insert bool) []func(context.Context) error {
 	var units []func(context.Context) error
-	for name, fields := range rt.tacticFieldValues(doc) {
-		name, fields := name, fields
-		inst := rt.instances[name]
-		if insert {
-			if di, ok := inst.(spi.DocInserter); ok {
-				units = append(units, func(ctx context.Context) error {
-					if err := di.InsertDoc(ctx, doc.ID, fields); err != nil {
-						return fmt.Errorf("core: %s index insert: %w", name, err)
-					}
-					return nil
-				})
-				continue
+	op := model.OpInsert
+	if !insert {
+		op = model.OpDelete
+	}
+	timed := func(fs []string, run func(context.Context) error) func(context.Context) error {
+		return func(ctx context.Context) error {
+			start := time.Now()
+			err := run(ctx)
+			if err == nil {
+				e.stats.Record(schema, fs, name, op, time.Since(start))
 			}
-			ins, ok := inst.(spi.Inserter)
-			if !ok {
-				continue
-			}
-			for _, f := range sortedKeys(fields) {
-				f := f
-				units = append(units, func(ctx context.Context) error {
-					if err := ins.Insert(ctx, f, doc.ID, fields[f]); err != nil {
-						return fmt.Errorf("core: %s index insert field %s: %w", name, f, err)
-					}
-					return nil
-				})
-			}
-			continue
+			return err
 		}
-		if dd, ok := inst.(spi.DocDeleter); ok {
-			units = append(units, func(ctx context.Context) error {
-				if err := dd.DeleteDoc(ctx, doc.ID, fields); err != nil {
-					return fmt.Errorf("core: %s index delete: %w", name, err)
+	}
+	if insert {
+		if di, ok := inst.(spi.DocInserter); ok {
+			return append(units, timed(sortedKeys(fields), func(ctx context.Context) error {
+				if err := di.InsertDoc(ctx, docID, fields); err != nil {
+					return fmt.Errorf("core: %s index insert: %w", name, err)
 				}
 				return nil
-			})
-			continue
+			}))
 		}
-		del, ok := inst.(spi.Deleter)
+		ins, ok := inst.(spi.Inserter)
 		if !ok {
-			continue
+			return nil
 		}
 		for _, f := range sortedKeys(fields) {
 			f := f
-			units = append(units, func(ctx context.Context) error {
-				if err := del.Delete(ctx, f, doc.ID, fields[f]); err != nil {
-					return fmt.Errorf("core: %s index delete field %s: %w", name, f, err)
+			units = append(units, timed([]string{f}, func(ctx context.Context) error {
+				if err := ins.Insert(ctx, f, docID, fields[f]); err != nil {
+					return fmt.Errorf("core: %s index insert field %s: %w", name, f, err)
 				}
 				return nil
-			})
+			}))
 		}
+		return units
+	}
+	if dd, ok := inst.(spi.DocDeleter); ok {
+		return append(units, timed(sortedKeys(fields), func(ctx context.Context) error {
+			if err := dd.DeleteDoc(ctx, docID, fields); err != nil {
+				return fmt.Errorf("core: %s index delete: %w", name, err)
+			}
+			return nil
+		}))
+	}
+	del, ok := inst.(spi.Deleter)
+	if !ok {
+		return nil
+	}
+	for _, f := range sortedKeys(fields) {
+		f := f
+		units = append(units, timed([]string{f}, func(ctx context.Context) error {
+			if err := del.Delete(ctx, f, docID, fields[f]); err != nil {
+				return fmt.Errorf("core: %s index delete field %s: %w", name, f, err)
+			}
+			return nil
+		}))
+	}
+	return units
+}
+
+// indexUnits builds one document's full index maintenance across the
+// schema's plan.
+func (e *Engine) indexUnits(rt *schemaRuntime, doc *model.Document, insert bool) []func(context.Context) error {
+	var units []func(context.Context) error
+	for name, fields := range rt.tacticFieldValues(doc) {
+		units = append(units, e.tacticUnits(rt.schema.Name, name, rt.instances[name], doc.ID, fields, insert)...)
 	}
 	return units
 }
 
 // indexInsert feeds a document into every selected tactic index, fanning
-// out across tactics and fields.
-func (e *Engine) indexInsert(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
-	return e.runUnits(ctx, rt.indexUnits(doc, true))
+// out across tactics and fields. locked reports whether the caller holds
+// rt.docMu (Update flows) — it decides the dual-write discipline against
+// an in-flight migration's target index.
+func (e *Engine) indexInsert(ctx context.Context, rt *schemaRuntime, doc *model.Document, locked bool) error {
+	units := e.indexUnits(rt, doc, true)
+	units = append(units, e.migrationUnits(rt, doc, true, locked)...)
+	return e.runUnits(ctx, units)
 }
 
 // indexDelete removes a document from every selected tactic index, fanning
 // out across tactics and fields.
-func (e *Engine) indexDelete(ctx context.Context, rt *schemaRuntime, doc *model.Document) error {
-	return e.runUnits(ctx, rt.indexUnits(doc, false))
+func (e *Engine) indexDelete(ctx context.Context, rt *schemaRuntime, doc *model.Document, locked bool) error {
+	units := e.indexUnits(rt, doc, false)
+	units = append(units, e.migrationUnits(rt, doc, false, locked)...)
+	return e.runUnits(ctx, units)
 }
 
 func sortedKeys(m map[string]any) []string {
@@ -604,7 +914,16 @@ func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document)
 		return "", err
 	}
 
-	// No lock here: concurrent inserts of distinct documents are safe —
+	// Re-acquire the runtime under the writers lock: a migration swapping
+	// in a dual-write window must either drain this insert first or be
+	// visible to it.
+	rt, release, err := e.writeRuntime(schema)
+	if err != nil {
+		return "", err
+	}
+	defer release()
+
+	// No doc lock here: concurrent inserts of distinct documents are safe —
 	// tactic clients reserve index counters atomically, and the IfAbsent
 	// put below rejects a racing duplicate id before it reaches indexing.
 	err = e.shards.Call(ctx, docRoute(schema, doc.ID), cloud.DocService, "put",
@@ -615,7 +934,7 @@ func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document)
 		}
 		return "", err
 	}
-	if err := e.indexInsert(ctx, rt, doc); err != nil {
+	if err := e.indexInsert(ctx, rt, doc, false); err != nil {
 		// The document blob is stored but (some of) its index entries are
 		// not, so searches would never surface it: compensate by removing
 		// the blob, best-effort, on a context that survives the caller's
@@ -629,6 +948,7 @@ func (e *Engine) Insert(ctx context.Context, schema string, doc *model.Document)
 		}
 		return "", err
 	}
+	e.stats.DocDelta(schema, 1)
 	return doc.ID, nil
 }
 
@@ -670,9 +990,14 @@ func (e *Engine) Update(ctx context.Context, schema string, doc *model.Document)
 		return err
 	}
 
+	rt, release, err := e.writeRuntime(schema)
+	if err != nil {
+		return err
+	}
+	defer release()
 	rt.docMu.Lock()
 	defer rt.docMu.Unlock()
-	if err := e.indexDelete(ctx, rt, old); err != nil {
+	if err := e.indexDelete(ctx, rt, old, true); err != nil {
 		return err
 	}
 	blob, err := rt.sealDoc(doc)
@@ -683,22 +1008,23 @@ func (e *Engine) Update(ctx context.Context, schema string, doc *model.Document)
 		cloud.DocPutArgs{Collection: schema, ID: doc.ID, Blob: blob}, nil); err != nil {
 		return err
 	}
-	return e.indexInsert(ctx, rt, doc)
+	return e.indexInsert(ctx, rt, doc, true)
 }
 
 // Delete removes a document and all its index entries.
 func (e *Engine) Delete(ctx context.Context, schema, id string) error {
-	rt, err := e.runtime(schema)
-	if err != nil {
-		return err
-	}
 	old, err := e.Get(ctx, schema, id)
 	if err != nil {
 		return err
 	}
+	rt, release, err := e.writeRuntime(schema)
+	if err != nil {
+		return err
+	}
+	defer release()
 	rt.docMu.Lock()
 	defer rt.docMu.Unlock()
-	if err := e.indexDelete(ctx, rt, old); err != nil {
+	if err := e.indexDelete(ctx, rt, old, true); err != nil {
 		return err
 	}
 	if err := e.shards.Call(ctx, docRoute(schema, id), cloud.DocService, "delete",
@@ -708,6 +1034,7 @@ func (e *Engine) Delete(ctx context.Context, schema, id string) error {
 		}
 		return err
 	}
+	e.stats.DocDelta(schema, -1)
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"datablinder/internal/cloud"
+	"datablinder/internal/coalesce"
 	"datablinder/internal/keys"
 	"datablinder/internal/store/kvstore"
 	"datablinder/internal/tactics"
@@ -39,8 +40,13 @@ func wrapEnv(t testing.TB, sequential bool, wrap func(transport.Conn) transport.
 		conn = wrap(conn)
 	}
 	local := kvstore.New()
+	// Coalescing is pinned off: these tests assert the engine's own RPC
+	// fan-out at the wrapped conn, and the coalescer's gather trigger can
+	// legitimately merge simultaneously-arriving sub-calls into one batch,
+	// which would measure the batcher, not the engine.
 	engine, err := NewEngine(Config{
 		Keys: ks, Cloud: conn, Local: local, Registry: reg, Sequential: sequential,
+		Coalesce: coalesce.Options{Disabled: true},
 	})
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"datablinder/internal/cloud"
 	"datablinder/internal/cloud/ring"
@@ -102,10 +103,22 @@ func (e *Engine) tryBooleanPath(ctx context.Context, rt *schemaRuntime, p Predic
 	if !ok {
 		return nil, false, nil
 	}
+	fieldSet := make(map[string]bool)
+	var fields []string
+	for _, conj := range q {
+		for _, lit := range conj {
+			if !fieldSet[lit.Field] {
+				fieldSet[lit.Field] = true
+				fields = append(fields, lit.Field)
+			}
+		}
+	}
+	start := time.Now()
 	ids, err := bs.SearchBool(ctx, q)
 	if err != nil {
 		return nil, false, err
 	}
+	e.stats.Record(rt.schema.Name, fields, tactic, model.OpBoolean, time.Since(start))
 	return ids, true, nil
 }
 
@@ -269,7 +282,13 @@ func (e *Engine) evalEq(ctx context.Context, rt *schemaRuntime, q Eq) ([]string,
 	if err != nil {
 		return nil, err
 	}
-	return es.SearchEq(ctx, q.Field, v)
+	start := time.Now()
+	ids, err := es.SearchEq(ctx, q.Field, v)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Record(rt.schema.Name, []string{q.Field}, name, model.OpEquality, time.Since(start))
+	return ids, nil
 }
 
 func (e *Engine) evalRange(ctx context.Context, rt *schemaRuntime, q Range) ([]string, error) {
@@ -297,7 +316,13 @@ func (e *Engine) evalRange(ctx context.Context, rt *schemaRuntime, q Range) ([]s
 			return nil, err
 		}
 	}
-	return rs.SearchRange(ctx, q.Field, lo, hi, q.LoInc, q.HiInc)
+	start := time.Now()
+	ids, err := rs.SearchRange(ctx, q.Field, lo, hi, q.LoInc, q.HiInc)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Record(rt.schema.Name, []string{q.Field}, name, model.OpRange, time.Since(start))
+	return ids, nil
 }
 
 // canonicalQueryValue normalizes a query literal the same way stored

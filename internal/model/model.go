@@ -217,7 +217,29 @@ type PerfMetrics struct {
 	// ServerStorageFactor is the approximate cloud storage expansion
 	// relative to plaintext (1 means none, 2 means 2x, ...).
 	ServerStorageFactor float64 `json:"server_storage_factor,omitempty"`
+	// Costs are numeric per-operation cost priors (microseconds) used by
+	// the cost-based planner before live measurements exist; once a tactic
+	// has observed latencies, the priors only contribute their shape (the
+	// PerDoc term extrapolates measured costs to other corpus sizes).
+	Costs map[Op]CostPrior `json:"costs,omitempty"`
 }
+
+// CostPrior is one operation's a-priori cost model: Fixed microseconds per
+// call plus PerDoc microseconds for every stored document the operation
+// must touch (ORE's compare-scan query grows linearly with the corpus,
+// OPE's sorted-index query does not).
+type CostPrior struct {
+	// Fixed is the corpus-independent cost in microseconds.
+	Fixed float64 `json:"fixed,omitempty"`
+	// PerDoc is the additional microseconds per stored document.
+	PerDoc float64 `json:"per_doc,omitempty"`
+}
+
+// At evaluates the prior at a corpus of n documents, in microseconds.
+func (p CostPrior) At(n float64) float64 { return p.Fixed + p.PerDoc*n }
+
+// Zero reports whether the prior carries no information.
+func (p CostPrior) Zero() bool { return p.Fixed == 0 && p.PerDoc == 0 }
 
 // Annotation is the per-field data protection annotation of the data
 // access model (Fig. 2 / §5.1), e.g. `C3, op [I, EQ, BL], agg [avg]`.

@@ -1,0 +1,118 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"datablinder/internal/model"
+)
+
+func TestCostPrefersMeasurement(t *testing.T) {
+	s := NewStats()
+	prior := model.CostPrior{Fixed: 100} // 100µs prior
+	s.SetPriors(map[Key]model.CostPrior{{Tactic: "A", Op: model.OpEquality}: prior})
+
+	// Below MinSamples: estimate falls back to the (calibrated) prior.
+	ns, ok := s.Cost("A", model.OpEquality, prior, 0)
+	if !ok || ns != 100*1e3 {
+		t.Fatalf("prior estimate = %v, %v; want 100000, true", ns, ok)
+	}
+	if _, ok := s.MeasuredCost("A", model.OpEquality, prior, 0); ok {
+		t.Fatal("MeasuredCost reported ok with no samples")
+	}
+
+	for i := 0; i < MinSamples; i++ {
+		s.Record("sch", []string{"f"}, "A", model.OpEquality, 400*time.Microsecond)
+	}
+	ns, ok = s.Cost("A", model.OpEquality, prior, 0)
+	if !ok || ns < 350*1e3 || ns > 450*1e3 {
+		t.Fatalf("measured estimate = %v, %v; want ~400000, true", ns, ok)
+	}
+	if _, ok := s.MeasuredCost("A", model.OpEquality, prior, 0); !ok {
+		t.Fatal("MeasuredCost not ok after MinSamples observations")
+	}
+}
+
+func TestCostExtrapolatesWithPriorShape(t *testing.T) {
+	s := NewStats()
+	// Linear-in-corpus prior: measurements at small N must predict larger
+	// costs at big N.
+	prior := model.CostPrior{Fixed: 10, PerDoc: 1}
+	s.SeedDocs("sch", 100)
+	for i := 0; i < MinSamples; i++ {
+		s.Record("sch", nil, "A", model.OpRange, 110*time.Microsecond)
+	}
+	at100, _ := s.Cost("A", model.OpRange, prior, 100)
+	at1000, ok := s.Cost("A", model.OpRange, prior, 1000)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if at1000 < 8*at100 {
+		t.Fatalf("linear prior should scale estimate: at100=%v at1000=%v", at100, at1000)
+	}
+}
+
+func TestCalibrationScalesPriors(t *testing.T) {
+	s := NewStats()
+	pa := model.CostPrior{Fixed: 100}
+	pb := model.CostPrior{Fixed: 50}
+	s.SetPriors(map[Key]model.CostPrior{
+		{Tactic: "A", Op: model.OpInsert}: pa,
+		{Tactic: "B", Op: model.OpInsert}: pb,
+	})
+	// Machine runs 3x slower than priors suggest: A measures 300µs.
+	for i := 0; i < MinSamples; i++ {
+		s.Record("sch", nil, "A", model.OpInsert, 300*time.Microsecond)
+	}
+	// B unmeasured: prior 50µs should calibrate to ~150µs.
+	ns, ok := s.Cost("B", model.OpInsert, pb, 0)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if ns < 120*1e3 || ns > 180*1e3 {
+		t.Fatalf("calibrated prior = %vns; want ~150000", ns)
+	}
+}
+
+func TestDocsTracking(t *testing.T) {
+	s := NewStats()
+	s.SeedDocs("sch", 10)
+	s.SeedDocs("sch", 99) // second seed ignored
+	s.DocDelta("sch", 5)
+	s.DocDelta("sch", -2)
+	if got := s.Docs("sch"); got != 13 {
+		t.Fatalf("Docs = %d; want 13", got)
+	}
+	if !s.DocsSeeded("sch") || s.DocsSeeded("other") {
+		t.Fatal("DocsSeeded wrong")
+	}
+}
+
+func TestFieldRatesAndSnapshot(t *testing.T) {
+	s := NewStats()
+	s.Record("sch", []string{"f", "g"}, "OPE", model.OpInsert, time.Millisecond)
+	s.Record("sch", []string{"f"}, "OPE", model.OpRange, 2*time.Millisecond)
+	s.RPC("ope", 3)
+	s.MigrationDone()
+	rates := s.FieldRates("sch", "f")
+	if rates[model.OpInsert] != 1 || rates[model.OpRange] != 1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	snap := s.Snapshot()
+	ts, ok := snap.Tactics["OPE"]
+	if !ok {
+		t.Fatalf("snapshot missing OPE: %v", snap)
+	}
+	if ts.RPCs != 3 {
+		t.Fatalf("RPCs = %d; want 3", ts.RPCs)
+	}
+	if ts.Ops[string(model.OpInsert)].Count != 1 {
+		t.Fatalf("ops = %v", ts.Ops)
+	}
+	if snap.Migrations != 1 {
+		t.Fatalf("migrations = %d", snap.Migrations)
+	}
+	if names := snap.SortedTactics(); len(names) != 1 || names[0] != "OPE" {
+		t.Fatalf("SortedTactics = %v", names)
+	}
+}

@@ -260,16 +260,50 @@ type Plan struct {
 	Tactics []string
 }
 
-// Select runs the adaptive selection algorithm for one annotated field:
-// for every requested operation it picks, among the registered tactics
-// that support the operation and field type, the one with the *highest
-// leakage still tolerated* by the field's protection class — i.e. the
-// cheapest tactic that does not exceed the requested protection level
-// (leakage and performance trade off monotonically across the catalog).
+// CostFn reports the estimated latency (nanoseconds) of running op
+// through tactic, and whether an estimate exists at all. The engine wires
+// this to the planner's live cost model; selection itself stays agnostic
+// about where the numbers come from.
+type CostFn func(tactic string, op model.Op) (ns float64, ok bool)
+
+// SelectOptions parameterize tactic selection.
+type SelectOptions struct {
+	// Cheapest switches selection from the classic leakage-maximal rule
+	// to cost-based planning: among the tactics tolerated by the field's
+	// class, pick the one with the lowest workload-weighted cost. Requires
+	// Cost; falls back to the classic rule for any operation where no
+	// candidate has a cost estimate.
+	Cheapest bool
+	// Cost estimates per-(tactic, op) latency. In classic mode it only
+	// refines tie-breaking among equal-leakage candidates; in Cheapest
+	// mode it drives the ranking.
+	Cost CostFn
+	// Weights is the workload mix (relative op frequencies) used to weigh
+	// per-op costs in Cheapest mode. Nil means uniform weights.
+	Weights map[model.Op]float64
+}
+
+// Select runs tactic selection for one annotated field with the classic
+// rule: for every requested operation it picks, among the registered
+// tactics that support the operation and field type, the one with the
+// *highest leakage still tolerated* by the field's protection class.
 // This reproduces the paper's §5.1 selections: a C2 subject gets Mitra,
 // a C1 performer gets RND, a C3 status gets BIEX. Ties break by name for
 // determinism. Explicit pins in the annotation restrict the candidate set.
 func (r *Registry) Select(field model.Field) (Plan, error) {
+	return r.SelectWith(field, SelectOptions{})
+}
+
+// SelectWith is Select with an explicit cost model. The classic rule's
+// leakage ranking assumed leakage and performance trade off monotonically
+// across the catalog; that assumption breaks in practice (equal-leakage
+// tactics invert cost rankings with workload shape), so equal-leakage
+// candidates rank by measured cost when both have one, and Cheapest mode
+// drops the leakage-as-cost-proxy entirely: it minimizes estimated cost
+// over every tactic the field's class tolerates. Annotation pins always
+// restrict the candidate set, and the class leakage ceiling is enforced
+// in every mode — including over pinned candidates.
+func (r *Registry) SelectWith(field model.Field, opts SelectOptions) (Plan, error) {
 	ann := field.Annotation
 	if err := ann.Validate(); err != nil {
 		return Plan{}, err
@@ -285,11 +319,20 @@ func (r *Registry) Select(field model.Field) (Plan, error) {
 	}
 
 	plan := Plan{ByOp: make(map[model.Op]string), ByAgg: make(map[model.Agg]string)}
+	insertDeferred := false
 	for _, op := range ann.Ops {
 		if op == model.OpRead || op == model.OpUpdate || op == model.OpDelete {
 			continue // CRUD plumbing is engine-level, not index-level
 		}
-		name, err := r.pick(field, candidates, func(d Descriptor) bool { return d.SupportsOp(op) })
+		if op == model.OpInsert && opts.Cheapest {
+			// Defer: in cost mode the insert slot should reuse a tactic the
+			// search ops already forced into the plan (every plan tactic
+			// pays inserts anyway), instead of adding a new index.
+			insertDeferred = true
+			continue
+		}
+		op := op
+		name, err := r.pick(field, candidates, op, func(d Descriptor) bool { return d.SupportsOp(op) }, opts)
 		if err != nil {
 			return Plan{}, fmt.Errorf("spi: field %q op %s: %w", field.Name, string(op), err)
 		}
@@ -303,11 +346,22 @@ func (r *Registry) Select(field model.Field) (Plan, error) {
 			// cloud-side tactic is involved.
 			continue
 		}
-		name, err := r.pick(field, candidates, func(d Descriptor) bool { return d.SupportsAgg(agg) })
+		name, err := r.pick(field, candidates, "", func(d Descriptor) bool { return d.SupportsAgg(agg) }, opts)
 		if err != nil {
 			return Plan{}, fmt.Errorf("spi: field %q agg %s: %w", field.Name, string(agg), err)
 		}
 		plan.ByAgg[agg] = name
+	}
+	if insertDeferred {
+		pool := candidates
+		if sub := r.insertCapable(field, plan); len(sub) > 0 {
+			pool = sub
+		}
+		name, err := r.pick(field, pool, model.OpInsert, func(d Descriptor) bool { return d.SupportsOp(model.OpInsert) }, opts)
+		if err != nil {
+			return Plan{}, fmt.Errorf("spi: field %q op %s: %w", field.Name, string(model.OpInsert), err)
+		}
+		plan.ByOp[model.OpInsert] = name
 	}
 
 	seen := make(map[string]bool)
@@ -327,11 +381,35 @@ func (r *Registry) Select(field model.Field) (Plan, error) {
 	return plan, nil
 }
 
-// pick returns the highest-leakage (cheapest) candidate satisfying ok,
-// the type constraint, and the class ceiling; ties break by name.
-func (r *Registry) pick(field model.Field, candidates []string, ok func(Descriptor) bool) (string, error) {
-	best := ""
-	var bestLeak model.Leakage = -1
+// insertCapable returns the plan's already-chosen tactics that can also
+// absorb the field's inserts, sorted for determinism.
+func (r *Registry) insertCapable(field model.Field, plan Plan) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(n string) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		d := r.byName[n].Descriptor
+		if d.SupportsOp(model.OpInsert) && d.SupportsType(field.Type) {
+			out = append(out, n)
+		}
+	}
+	for _, n := range plan.ByOp {
+		add(n)
+	}
+	for _, n := range plan.ByAgg {
+		add(n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// eligible filters candidates by capability, field type, and the class
+// leakage ceiling.
+func (r *Registry) eligible(field model.Field, candidates []string, ok func(Descriptor) bool) []string {
+	var out []string
 	for _, n := range candidates {
 		d := r.byName[n].Descriptor
 		if !ok(d) || !d.SupportsType(field.Type) {
@@ -342,15 +420,110 @@ func (r *Registry) pick(field model.Field, candidates []string, ok func(Descript
 		if d.Leakage != 0 && !field.Annotation.Class.Tolerates(d.Leakage) {
 			continue
 		}
-		if d.Leakage > bestLeak || (d.Leakage == bestLeak && n < best) {
-			best = n
-			bestLeak = d.Leakage
-		}
+		out = append(out, n)
 	}
-	if best == "" {
+	return out
+}
+
+// pick selects one tactic for op among candidates. Classic mode ranks by
+// highest tolerated leakage; equal-leakage ties rank by measured cost
+// when the cost model has estimates for both (the catalog's leakage
+// ordering is not a reliable cost ordering), and by name otherwise.
+// Cheapest mode ranks by workload-weighted estimated cost across the ops
+// the tactic would serve (the requested op plus the insert/delete
+// maintenance it must absorb as a plan member), falling back to the
+// classic rule when no candidate has any estimate. costOp is "" for
+// aggregate picks, which carry no per-op cost series.
+func (r *Registry) pick(field model.Field, candidates []string, costOp model.Op, ok func(Descriptor) bool, opts SelectOptions) (string, error) {
+	pool := r.eligible(field, candidates, ok)
+	if len(pool) == 0 {
 		return "", fmt.Errorf("%w (class %s, type %s)", ErrNoTactic, field.Annotation.Class, string(field.Type))
 	}
+	if opts.Cheapest && opts.Cost != nil && costOp != "" {
+		if best, found := r.pickCheapest(pool, costOp, opts); found {
+			return best, nil
+		}
+	}
+	best := pool[0]
+	bestLeak := r.byName[best].Descriptor.Leakage
+	bestCost, bestHasCost := pickCost(opts, best, costOp)
+	for _, n := range pool[1:] {
+		leak := r.byName[n].Descriptor.Leakage
+		cost, hasCost := pickCost(opts, n, costOp)
+		better := false
+		switch {
+		case leak != bestLeak:
+			better = leak > bestLeak
+		case hasCost && bestHasCost && cost != bestCost:
+			better = cost < bestCost
+		default:
+			better = n < best
+		}
+		if better {
+			best, bestLeak, bestCost, bestHasCost = n, leak, cost, hasCost
+		}
+	}
 	return best, nil
+}
+
+// pickCost evaluates the tie-break cost of one candidate, when available.
+func pickCost(opts SelectOptions, tactic string, costOp model.Op) (float64, bool) {
+	if opts.Cost == nil || costOp == "" {
+		return 0, false
+	}
+	return opts.Cost(tactic, costOp)
+}
+
+// pickCheapest ranks pool by workload-weighted estimated cost. A tactic's
+// score covers the requested op plus insert/delete maintenance, weighted
+// by the observed workload mix. found is false when no candidate has any
+// estimate (the caller then falls back to the classic rule).
+func (r *Registry) pickCheapest(pool []string, costOp model.Op, opts SelectOptions) (string, bool) {
+	group := []model.Op{costOp}
+	if costOp != model.OpInsert {
+		group = append(group, model.OpInsert)
+	}
+	if costOp != model.OpDelete {
+		group = append(group, model.OpDelete)
+	}
+	weight := func(op model.Op) float64 {
+		if opts.Weights == nil {
+			return 1
+		}
+		return opts.Weights[op]
+	}
+	best, bestScore := "", 0.0
+	var bestLeak model.Leakage = -1
+	for _, n := range pool {
+		score, any := 0.0, false
+		for _, op := range group {
+			if c, ok := opts.Cost(n, op); ok {
+				score += weight(op) * c
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		leak := r.byName[n].Descriptor.Leakage
+		better := false
+		switch {
+		case best == "":
+			better = true
+		case score != bestScore:
+			better = score < bestScore
+		case leak != bestLeak:
+			// Equal cost: the higher-leakage tactic is usually the simpler
+			// mechanism; prefer it, matching the classic rule's intuition.
+			better = leak > bestLeak
+		default:
+			better = n < best
+		}
+		if better {
+			best, bestScore, bestLeak = n, score, leak
+		}
+	}
+	return best, best != ""
 }
 
 // EffectiveClass computes a field's protection level under the

@@ -1,0 +1,162 @@
+package spi_test
+
+import (
+	"testing"
+
+	"datablinder/internal/model"
+	"datablinder/internal/spi"
+)
+
+// costTable is a CostFn backed by a fixed map; pairs absent from the map
+// report ok=false (unmeasured).
+func costTable(m map[string]map[model.Op]float64) spi.CostFn {
+	return func(tactic string, op model.Op) (float64, bool) {
+		c, ok := m[tactic][op]
+		return c, ok
+	}
+}
+
+// TestClassicTieBreaksByMeasuredCost covers the satellite fix: OPE and ORE
+// both leak order (equal leakage), so the classic rule historically picked
+// OPE purely by name. With measured costs for both, the cheaper one must
+// win; with a measurement for only one side, the deterministic name
+// tie-break must survive unchanged.
+func TestClassicTieBreaksByMeasuredCost(t *testing.T) {
+	r := registry(t)
+	f := field("amount", model.TypeFloat, "C5, op [I, RG]")
+
+	base, err := r.Select(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ByOp[model.OpRange] != "OPE" {
+		t.Fatalf("classic default range tactic = %q, want OPE (name tie-break)", base.ByOp[model.OpRange])
+	}
+
+	// ORE measured much cheaper for range queries on this workload.
+	costs := costTable(map[string]map[model.Op]float64{
+		"OPE": {model.OpRange: 500_000, model.OpInsert: 900_000},
+		"ORE": {model.OpRange: 60_000, model.OpInsert: 40_000},
+	})
+	plan, err := r.SelectWith(f, spi.SelectOptions{Cost: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ByOp[model.OpRange] != "ORE" {
+		t.Fatalf("measured tie-break range tactic = %q, want ORE", plan.ByOp[model.OpRange])
+	}
+	if plan.ByOp[model.OpInsert] != "ORE" {
+		t.Fatalf("measured tie-break insert tactic = %q, want ORE", plan.ByOp[model.OpInsert])
+	}
+
+	// Only one side measured: ranking by half a comparison would flap with
+	// measurement order, so the name tie-break must still decide.
+	oneSided, err := r.SelectWith(f, spi.SelectOptions{Cost: costTable(map[string]map[model.Op]float64{
+		"ORE": {model.OpRange: 60_000},
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneSided.ByOp[model.OpRange] != "OPE" {
+		t.Fatalf("one-sided measurement range tactic = %q, want OPE", oneSided.ByOp[model.OpRange])
+	}
+}
+
+// TestCheapestMinimizesWeightedCost exercises planner mode: selection must
+// follow the workload mix, not the leakage ordering, and the insert slot
+// must reuse the chosen search tactic instead of adding an index.
+func TestCheapestMinimizesWeightedCost(t *testing.T) {
+	r := registry(t)
+	f := field("amount", model.TypeFloat, "C5, op [I, RG]")
+	costs := costTable(map[string]map[model.Op]float64{
+		"OPE": {model.OpRange: 100_000, model.OpInsert: 900_000, model.OpDelete: 40_000},
+		"ORE": {model.OpRange: 2_000_000, model.OpInsert: 40_000, model.OpDelete: 30_000},
+	})
+
+	insertHeavy, err := r.SelectWith(f, spi.SelectOptions{
+		Cheapest: true,
+		Cost:     costs,
+		Weights:  map[model.Op]float64{model.OpInsert: 100, model.OpRange: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insertHeavy.ByOp[model.OpRange] != "ORE" || insertHeavy.ByOp[model.OpInsert] != "ORE" {
+		t.Fatalf("insert-heavy plan = %v, want ORE/ORE", insertHeavy.ByOp)
+	}
+
+	queryHeavy, err := r.SelectWith(f, spi.SelectOptions{
+		Cheapest: true,
+		Cost:     costs,
+		Weights:  map[model.Op]float64{model.OpInsert: 1, model.OpRange: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queryHeavy.ByOp[model.OpRange] != "OPE" {
+		t.Fatalf("query-heavy range tactic = %q, want OPE", queryHeavy.ByOp[model.OpRange])
+	}
+	if queryHeavy.ByOp[model.OpInsert] != "OPE" {
+		t.Fatalf("query-heavy insert tactic = %q, want OPE (reuse search tactic)", queryHeavy.ByOp[model.OpInsert])
+	}
+	if len(queryHeavy.Tactics) != 1 {
+		t.Fatalf("query-heavy plan tactics = %v, want a single index", queryHeavy.Tactics)
+	}
+}
+
+// TestCheapestRespectsLeakageCeiling: cost can never buy leakage — a
+// tactic above the class ceiling stays excluded however cheap it is.
+func TestCheapestRespectsLeakageCeiling(t *testing.T) {
+	r := registry(t)
+	f := field("note", model.TypeString, "C1, op [I]")
+	plan, err := r.SelectWith(f, spi.SelectOptions{
+		Cheapest: true,
+		Cost: costTable(map[string]map[model.Op]float64{
+			"DET": {model.OpInsert: 1},
+			"RND": {model.OpInsert: 1_000_000},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ByOp[model.OpInsert] != "RND" {
+		t.Fatalf("C1 insert tactic = %q, want RND (DET exceeds ceiling)", plan.ByOp[model.OpInsert])
+	}
+}
+
+// TestCheapestHonorsPins: Annotation.Tactics pins are hard overrides; the
+// planner only chooses within them.
+func TestCheapestHonorsPins(t *testing.T) {
+	r := registry(t)
+	f := field("amount", model.TypeFloat, "C5, op [I, RG], tactic [OPE]")
+	plan, err := r.SelectWith(f, spi.SelectOptions{
+		Cheapest: true,
+		Cost: costTable(map[string]map[model.Op]float64{
+			"OPE": {model.OpRange: 1_000_000, model.OpInsert: 1_000_000},
+			"ORE": {model.OpRange: 1, model.OpInsert: 1},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ByOp[model.OpRange] != "OPE" || plan.ByOp[model.OpInsert] != "OPE" {
+		t.Fatalf("pinned plan = %v, want OPE everywhere", plan.ByOp)
+	}
+}
+
+// TestCheapestFallsBackWithoutEstimates: when no candidate has a cost
+// estimate, Cheapest degrades to the classic deterministic rule.
+func TestCheapestFallsBackWithoutEstimates(t *testing.T) {
+	r := registry(t)
+	f := field("amount", model.TypeFloat, "C5, op [I, RG]")
+	plan, err := r.SelectWith(f, spi.SelectOptions{
+		Cheapest: true,
+		Cost:     func(string, model.Op) (float64, bool) { return 0, false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ByOp[model.OpRange] != "OPE" {
+		t.Fatalf("fallback range tactic = %q, want OPE", plan.ByOp[model.OpRange])
+	}
+}

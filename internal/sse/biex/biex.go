@@ -330,6 +330,15 @@ type PackedEntry struct {
 	ValLen  int    `json:"vlen"`
 	Addrs   []byte `json:"addrs"`
 	Vals    []byte `json:"vals"`
+	// Shared, when set, is a sealed payload common to every cell in the
+	// entry: each cell's Vals slot is then an emm.SharedWrapLen-byte key
+	// wrap, and the stored value is assembled server-side as
+	// emm.SharedValue(wrap, Nonce, Shared). A k-keyword document's O(k²)
+	// pair cells — identical plaintext sealed under O(k²) pair keys in the
+	// legacy form — ship the payload once per entry and 32 bytes per cell.
+	Shared []byte `json:"shared,omitempty"`
+	// Nonce is the shared group's wrap nonce (emm.SharedNonceLen bytes).
+	Nonce []byte `json:"nonce,omitempty"`
 }
 
 // PackEntries groups cells by (address length, value length) shape,
@@ -366,6 +375,10 @@ func UnpackEntries(packed []PackedEntry) ([]emm.Entry, error) {
 			return nil, fmt.Errorf("biex: malformed packed entry (n=%d alen=%d vlen=%d addrs=%d vals=%d)",
 				p.Count, p.AddrLen, p.ValLen, len(p.Addrs), len(p.Vals))
 		}
+		if len(p.Shared) > 0 && (p.ValLen != emm.SharedWrapLen || len(p.Nonce) != emm.SharedNonceLen) {
+			return nil, fmt.Errorf("biex: malformed shared packed entry (vlen=%d nonce=%d)",
+				p.ValLen, len(p.Nonce))
+		}
 		total += p.Count
 	}
 	if total == 0 {
@@ -374,9 +387,15 @@ func UnpackEntries(packed []PackedEntry) ([]emm.Entry, error) {
 	out := make([]emm.Entry, 0, total)
 	for _, p := range packed {
 		for i := 0; i < p.Count; i++ {
+			val := p.Vals[i*p.ValLen : (i+1)*p.ValLen : (i+1)*p.ValLen]
+			if len(p.Shared) > 0 {
+				// Expand the wrap into a self-contained stored value; the
+				// dedup is a wire-framing optimization only.
+				val = emm.SharedValue(val, p.Nonce, p.Shared)
+			}
 			out = append(out, emm.Entry{
 				Addr: p.Addrs[i*p.AddrLen : (i+1)*p.AddrLen : (i+1)*p.AddrLen],
-				Val:  p.Vals[i*p.ValLen : (i+1)*p.ValLen : (i+1)*p.ValLen],
+				Val:  val,
 			})
 		}
 	}
@@ -520,23 +539,46 @@ func (c *Client) Insert(namespace, id string, keywords []string, shardOf ShardFu
 	case Variant2Lev:
 		// Pair cells accumulate per shard and ship packed: one counter
 		// bump per pair, a replica on both member keywords' shards, but
-		// O(1) wire entries per shard instead of one per cell.
-		perShard := make(map[int][]emm.Entry)
-		for i := 0; i < len(uniq); i++ {
-			for j := i + 1; j < len(uniq); j++ {
-				e, err := c.cross.Append(namespace, pairKeyword(uniq[i], uniq[j]), vid)
-				if err != nil {
-					return nil, err
-				}
-				perShard[shard[i]] = append(perShard[shard[i]], e)
-				if shard[j] != shard[i] {
-					perShard[shard[j]] = append(perShard[shard[j]], e)
+		// O(1) wire entries per shard instead of one per cell. Every pair
+		// cell of this insert carries the same versioned id, so the sealed
+		// payload ships once per entry (value-deduped): each cell is a
+		// fixed-size wrap of an ephemeral group key, and the server
+		// expands wraps into self-contained stored values.
+		if len(uniq) >= 2 {
+			kd, err := primitives.NewRandomKey()
+			if err != nil {
+				return nil, err
+			}
+			nonce, err := primitives.RandomBytes(emm.SharedNonceLen)
+			if err != nil {
+				return nil, err
+			}
+			shared, err := emm.SealSharedIDs(kd, []string{vid})
+			if err != nil {
+				return nil, err
+			}
+			perShard := make(map[int][]emm.Entry)
+			for i := 0; i < len(uniq); i++ {
+				for j := i + 1; j < len(uniq); j++ {
+					addr, vk, err := c.cross.AppendAddr(namespace, pairKeyword(uniq[i], uniq[j]))
+					if err != nil {
+						return nil, err
+					}
+					e := emm.Entry{Addr: addr, Val: emm.WrapSharedKey(vk, nonce, kd)}
+					perShard[shard[i]] = append(perShard[shard[i]], e)
+					if shard[j] != shard[i] {
+						perShard[shard[j]] = append(perShard[shard[j]], e)
+					}
 				}
 			}
-		}
-		for s, cells := range perShard {
-			g := grp(s)
-			g.CrossPacked = PackEntries(cells)
+			for s, cells := range perShard {
+				g := grp(s)
+				g.CrossPacked = PackEntries(cells)
+				for i := range g.CrossPacked {
+					g.CrossPacked[i].Shared = shared
+					g.CrossPacked[i].Nonce = nonce
+				}
+			}
 		}
 	case VariantZMF:
 		for i, w := range uniq {

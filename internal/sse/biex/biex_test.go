@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"datablinder/internal/crypto/primitives"
+	"datablinder/internal/sse/emm"
 	"datablinder/internal/store/kvstore"
 )
 
@@ -563,3 +564,69 @@ func benchConjunction(b *testing.B, v Variant) {
 
 func BenchmarkConjunction2Lev(b *testing.B) { benchConjunction(b, Variant2Lev) }
 func BenchmarkConjunctionZMF(b *testing.B)  { benchConjunction(b, VariantZMF) }
+
+func TestPairCellsShareSealedPayload(t *testing.T) {
+	c, s := setup(t, Variant2Lev)
+	groups, err := c.Insert("obs", "doc1", []string{"a", "b", "c"}, SingleShard)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	g, ok := groups[0]
+	if !ok {
+		t.Fatal("no shard-0 group")
+	}
+	if len(g.CrossPacked) == 0 {
+		t.Fatal("no packed pair cells")
+	}
+	cells := 0
+	for _, p := range g.CrossPacked {
+		cells += p.Count
+		if len(p.Shared) == 0 {
+			t.Fatal("packed pair entry lacks shared payload")
+		}
+		if len(p.Nonce) != emm.SharedNonceLen {
+			t.Fatalf("nonce len = %d, want %d", len(p.Nonce), emm.SharedNonceLen)
+		}
+		// Value dedup: each cell ships a fixed-size key wrap, not a
+		// replicated sealed payload.
+		if p.ValLen != emm.SharedWrapLen {
+			t.Fatalf("ValLen = %d, want wrap size %d", p.ValLen, emm.SharedWrapLen)
+		}
+		if len(p.Vals) != p.Count*emm.SharedWrapLen {
+			t.Fatalf("Vals = %d bytes for %d cells, want %d", len(p.Vals), p.Count, p.Count*emm.SharedWrapLen)
+		}
+	}
+	if want := 3; cells != want { // C(3,2) pairs on a single shard
+		t.Fatalf("pair cells = %d, want %d", cells, want)
+	}
+	if err := s.Insert(*g); err != nil {
+		t.Fatalf("server Insert: %v", err)
+	}
+	got := run(t, c, s, Query{{pos("a"), pos("b")}})
+	if !reflect.DeepEqual(got, []string{"doc1"}) {
+		t.Fatalf("conjunction over shared pair cells = %v, want [doc1]", got)
+	}
+}
+
+func TestUnpackRejectsMalformedShared(t *testing.T) {
+	mk := func(valLen, nonceLen int) PackedEntry {
+		return PackedEntry{
+			Count:   1,
+			AddrLen: 4,
+			ValLen:  valLen,
+			Addrs:   make([]byte, 4),
+			Vals:    make([]byte, valLen),
+			Shared:  []byte("sealed"),
+			Nonce:   make([]byte, nonceLen),
+		}
+	}
+	if _, err := UnpackEntries([]PackedEntry{mk(emm.SharedWrapLen+1, emm.SharedNonceLen)}); err == nil {
+		t.Fatal("UnpackEntries accepted shared entry with non-wrap ValLen")
+	}
+	if _, err := UnpackEntries([]PackedEntry{mk(emm.SharedWrapLen, emm.SharedNonceLen-1)}); err == nil {
+		t.Fatal("UnpackEntries accepted shared entry with short nonce")
+	}
+	if _, err := UnpackEntries([]PackedEntry{mk(emm.SharedWrapLen, emm.SharedNonceLen)}); err != nil {
+		t.Fatalf("UnpackEntries rejected well-formed shared entry: %v", err)
+	}
+}

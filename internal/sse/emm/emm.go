@@ -234,6 +234,9 @@ func sealIDs(valueKey primitives.Key, ids []string) ([]byte, error) {
 }
 
 func openIDs(valueKey primitives.Key, blob []byte) ([]string, error) {
+	if ids, ok := openShared(valueKey, blob); ok {
+		return ids, nil
+	}
 	aead, err := aeadFor(valueKey)
 	if err != nil {
 		return nil, err
@@ -247,6 +250,101 @@ func openIDs(valueKey primitives.Key, blob []byte) ([]string, error) {
 		return nil, fmt.Errorf("emm: decoding ids: %w", err)
 	}
 	return ids, nil
+}
+
+// Shared-payload cells
+//
+// An operation that fans one identical identifier list into many keywords'
+// cells (BIEX's pair replication: a k-keyword document writes O(k²) pair
+// cells all carrying the same versioned id) would seal the same plaintext
+// under O(k²) different value keys — distinct ciphertexts, so nothing
+// downstream can deduplicate them. The shared-payload form seals the list
+// ONCE under a fresh ephemeral key and stores, per cell, only a fixed-size
+// wrap binding that key to the cell's keyword value key:
+//
+//	stored value = 'S' || wrap || nonce || sealed(kd, ids)
+//	wrap         = PRF(valueKey, "emm-shared", nonce) ⊕ kd
+//
+// The nonce is drawn once per group; within a group every cell has a
+// distinct value key, so no PRF pad ever repeats. Only a holder of the
+// cell's value key recovers kd, which keeps the response-revealing
+// semantics exactly: a search token still opens exactly its keyword's
+// cells. openIDs recognizes the magic prefix and falls back to the legacy
+// whole-cell AEAD on authentication failure, so mixed-era indexes resolve.
+
+const (
+	// SharedWrapLen is the byte length of a shared-payload key wrap.
+	SharedWrapLen = primitives.KeySize
+	// SharedNonceLen is the byte length of a shared-payload group nonce.
+	SharedNonceLen = 16
+	// sharedMagic prefixes stored cell values in shared-payload form.
+	sharedMagic = 0x53 // 'S'
+)
+
+// sharedLabel domain-separates the wrap PRF from address derivation.
+var sharedLabel = []byte("emm-shared")
+
+// AppendAddr reserves the next tail cell for w and returns its address
+// plus the keyword's value key, for callers assembling shared-payload
+// cells (WrapSharedKey + SealSharedIDs + server-side SharedValue).
+func (c *Client) AppendAddr(namespace, w string) ([]byte, primitives.Key, error) {
+	ak, vk := c.keywordKeys(namespace, w)
+	i, err := c.state.NextTail(namespace, w)
+	if err != nil {
+		return nil, primitives.Key{}, err
+	}
+	return tailAddr(ak, i), vk, nil
+}
+
+// SealSharedIDs seals one identifier list under an ephemeral group key.
+func SealSharedIDs(kd primitives.Key, ids []string) ([]byte, error) {
+	return sealIDs(kd, ids)
+}
+
+// WrapSharedKey binds the group key kd to one cell's value key.
+func WrapSharedKey(valueKey primitives.Key, nonce []byte, kd primitives.Key) []byte {
+	pad := primitives.PRF(valueKey, sharedLabel, nonce)
+	return primitives.XOR(pad[:primitives.KeySize], kd[:])
+}
+
+// SharedValue assembles the stored cell value of a shared-payload cell.
+func SharedValue(wrap, nonce, shared []byte) []byte {
+	out := make([]byte, 0, 1+len(wrap)+len(nonce)+len(shared))
+	out = append(out, sharedMagic)
+	out = append(out, wrap...)
+	out = append(out, nonce...)
+	return append(out, shared...)
+}
+
+// openShared attempts to open blob as a shared-payload cell; ok=false
+// means "not that form" (wrong magic, short, or failed authentication)
+// and the caller should try the legacy form.
+func openShared(valueKey primitives.Key, blob []byte) ([]string, bool) {
+	minLen := 1 + SharedWrapLen + SharedNonceLen + primitives.NonceSize + primitives.TagSize
+	if len(blob) < minLen || blob[0] != sharedMagic {
+		return nil, false
+	}
+	wrap := blob[1 : 1+SharedWrapLen]
+	nonce := blob[1+SharedWrapLen : 1+SharedWrapLen+SharedNonceLen]
+	shared := blob[1+SharedWrapLen+SharedNonceLen:]
+	pad := primitives.PRF(valueKey, sharedLabel, nonce)
+	kd, err := primitives.KeyFromBytes(primitives.XOR(pad[:primitives.KeySize], wrap))
+	if err != nil {
+		return nil, false
+	}
+	aead, err := aeadFor(kd)
+	if err != nil {
+		return nil, false
+	}
+	pt, err := aead.Open(shared, nil)
+	if err != nil {
+		return nil, false
+	}
+	var ids []string
+	if err := json.Unmarshal(pt, &ids); err != nil {
+		return nil, false
+	}
+	return ids, true
 }
 
 // Append produces the encrypted tail cell for (w -> id) and advances the

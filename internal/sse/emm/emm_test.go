@@ -307,3 +307,68 @@ func BenchmarkSearchPacked1000(b *testing.B) {
 		}
 	}
 }
+
+func TestSharedCellsMixWithLegacy(t *testing.T) {
+	c, s := setup(t)
+	appendAll(t, c, s, "ns", "w", "d1", "d2")
+
+	// A newer writer ships shared-payload cells for the same keyword:
+	// each cell is a key wrap and the server stores the assembled
+	// self-contained value.
+	kd, err := primitives.NewRandomKey()
+	if err != nil {
+		t.Fatalf("kd: %v", err)
+	}
+	nonce, err := primitives.RandomBytes(SharedNonceLen)
+	if err != nil {
+		t.Fatalf("nonce: %v", err)
+	}
+	shared, err := SealSharedIDs(kd, []string{"d3", "d4"})
+	if err != nil {
+		t.Fatalf("SealSharedIDs: %v", err)
+	}
+	addr, vk, err := c.AppendAddr("ns", "w")
+	if err != nil {
+		t.Fatalf("AppendAddr: %v", err)
+	}
+	wrap := WrapSharedKey(vk, nonce, kd)
+	if len(wrap) != SharedWrapLen {
+		t.Fatalf("wrap len = %d, want %d", len(wrap), SharedWrapLen)
+	}
+	if err := s.Insert([]Entry{{Addr: addr, Val: SharedValue(wrap, nonce, shared)}}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+
+	got := search(t, c, s, "ns", "w")
+	want := []string{"d1", "d2", "d3", "d4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mixed-era Search = %v, want %v", got, want)
+	}
+}
+
+func TestSharedCellWrongKeyFailsClosed(t *testing.T) {
+	c, s := setup(t)
+	kd, _ := primitives.NewRandomKey()
+	nonce, _ := primitives.RandomBytes(SharedNonceLen)
+	shared, err := SealSharedIDs(kd, []string{"d1"})
+	if err != nil {
+		t.Fatalf("SealSharedIDs: %v", err)
+	}
+	addr, _, err := c.AppendAddr("ns", "w")
+	if err != nil {
+		t.Fatalf("AppendAddr: %v", err)
+	}
+	// Wrap under an unrelated key: neither the shared parse nor the
+	// legacy fallback may yield ids.
+	wrong, _ := primitives.NewRandomKey()
+	if err := s.Insert([]Entry{{Addr: addr, Val: SharedValue(WrapSharedKey(wrong, nonce, kd), nonce, shared)}}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	tok, err := c.Token("ns", "w")
+	if err != nil {
+		t.Fatalf("Token: %v", err)
+	}
+	if _, err := s.Search(tok); err == nil {
+		t.Fatal("Search with mis-wrapped shared cell succeeded, want error")
+	}
+}

@@ -70,11 +70,26 @@ func describe(name string, variant ssebiex.Variant) spi.Descriptor {
 		RoundTrips:          1,
 		ClientStorage:       "EMM counters + per-doc versions",
 		ServerStorageFactor: 4.0, // pair multimap dominates
+		Costs: map[model.Op]model.CostPrior{
+			// Inserts replicate pair cells across the cross-structure;
+			// boolean queries resolve on the anchor's buckets.
+			model.OpInsert:   {Fixed: 120},
+			model.OpEquality: {Fixed: 80},
+			model.OpBoolean:  {Fixed: 150},
+			model.OpDelete:   {Fixed: 120},
+		},
 	}
 	challenge := "Storage impl. complexity"
 	if variant == ssebiex.VariantZMF {
 		perf.ServerStorageFactor = 1.6
 		perf.Complexity = "sub-linear: anchor list + filter probes (bounded false positives)"
+		perf.Costs = map[model.Op]model.CostPrior{
+			// ZMF trades storage for filter-probe work at both ends.
+			model.OpInsert:   {Fixed: 200},
+			model.OpEquality: {Fixed: 120},
+			model.OpBoolean:  {Fixed: 250},
+			model.OpDelete:   {Fixed: 200},
+		}
 	}
 	return spi.Descriptor{
 		Name:      name,

@@ -72,6 +72,8 @@ func init() {
 				b = wirefmt.AppendUvarint(b, uint64(p.ValLen))
 				b = wirefmt.AppendBytes(b, p.Addrs)
 				b = wirefmt.AppendBytes(b, p.Vals)
+				b = wirefmt.AppendBytes(b, p.Shared)
+				b = wirefmt.AppendBytes(b, p.Nonce)
 			}
 			b = wirefmt.AppendUvarint(b, uint64(len(a.Entries.Filter)))
 			for _, f := range a.Entries.Filter {
@@ -94,6 +96,8 @@ func init() {
 					p.ValLen = int(r.Uvarint())
 					p.Addrs = r.Bytes()
 					p.Vals = r.Bytes()
+					p.Shared = r.Bytes()
+					p.Nonce = r.Bytes()
 				}
 			}
 			if n := r.Count(); n > 0 {

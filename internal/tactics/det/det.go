@@ -78,6 +78,11 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "none",
 			ServerStorageFactor: 1.2,
+			Costs: map[model.Op]model.CostPrior{
+				model.OpInsert:   {Fixed: 20},
+				model.OpEquality: {Fixed: 30},
+				model.OpDelete:   {Fixed: 20},
+			},
 		},
 		Challenge: "-",
 		Origin:    spi.OriginImplemented,

@@ -64,6 +64,13 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "one counter per keyword",
 			ServerStorageFactor: 2.5,
+			Costs: map[model.Op]model.CostPrior{
+				// Searches replay the keyword's whole update history, so
+				// query cost tracks corpus growth.
+				model.OpInsert:   {Fixed: 30},
+				model.OpEquality: {Fixed: 50, PerDoc: 0.2},
+				model.OpDelete:   {Fixed: 30},
+			},
 		},
 		Challenge: "Local storage",
 		Origin:    spi.OriginImplemented,

@@ -78,6 +78,14 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "none",
 			ServerStorageFactor: 1.1,
+			Costs: map[model.Op]model.CostPrior{
+				// Encoding walks the mutable-OPE tree with a round trip
+				// per level, so inserts are expensive; range queries hit
+				// the sorted index directly and stay cheap at any size.
+				model.OpInsert: {Fixed: 900},
+				model.OpRange:  {Fixed: 120},
+				model.OpDelete: {Fixed: 40},
+			},
 		},
 		Challenge: "-",
 		Origin:    spi.OriginAdapted,

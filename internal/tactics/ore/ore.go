@@ -79,6 +79,14 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "none",
 			ServerStorageFactor: 1.5,
+			Costs: map[model.Op]model.CostPrior{
+				// Encryption is a handful of PRF calls — inserts are cheap.
+				// Queries compare against every stored cell, so their cost
+				// grows linearly with the corpus.
+				model.OpInsert: {Fixed: 40},
+				model.OpRange:  {Fixed: 60, PerDoc: 2.0},
+				model.OpDelete: {Fixed: 30},
+			},
 		},
 		Challenge: "-",
 		Origin:    spi.OriginAdapted,

@@ -107,6 +107,11 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "Paillier private key",
 			ServerStorageFactor: 8.0, // 2048-bit ciphertexts per numeric value
+			Costs: map[model.Op]model.CostPrior{
+				// A 2048-bit modular exponentiation per insert dominates.
+				model.OpInsert: {Fixed: 2000},
+				model.OpDelete: {Fixed: 100},
+			},
 		},
 		Challenge: "Key management",
 		Origin:    spi.OriginAdapted,

@@ -83,6 +83,11 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "none",
 			ServerStorageFactor: 1.3,
+			Costs: map[model.Op]model.CostPrior{
+				model.OpInsert:   {Fixed: 5},
+				model.OpEquality: {Fixed: 100, PerDoc: 5.0},
+				model.OpDelete:   {Fixed: 5},
+			},
 		},
 		Challenge: "Inefficiency",
 		Origin:    spi.OriginImplemented,

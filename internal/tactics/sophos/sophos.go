@@ -79,6 +79,13 @@ func Describe() spi.Descriptor {
 			RoundTrips:          1,
 			ClientStorage:       "TDP private key + (state, counter) per keyword",
 			ServerStorageFactor: 2.0,
+			Costs: map[model.Op]model.CostPrior{
+				// Every insert evaluates the RSA trapdoor permutation, and
+				// searches replay the chain per update.
+				model.OpInsert:   {Fixed: 400},
+				model.OpEquality: {Fixed: 200, PerDoc: 0.2},
+				model.OpDelete:   {Fixed: 400},
+			},
 		},
 		Challenge: "Key management",
 		Origin:    spi.OriginImplemented,
